@@ -1,0 +1,190 @@
+//! Multi-threaded CPU Top-K SpMV (the `sparse_dot_topn` baseline).
+//!
+//! `sparse_dot_topn` computes exact Top-K sparse-dense products on CPU
+//! with CSR traversal and per-row bounded heaps. This module is the same
+//! algorithm in Rust: rows are split across worker threads (crossbeam
+//! scoped threads), each worker keeps a local [`BoundedMinHeap`], and the
+//! locals are merged at the end. Arithmetic is `f32` accumulated in `f64`
+//! per row — matching a careful C++ float implementation.
+
+use std::time::Instant;
+
+use tkspmv_sparse::Csr;
+
+use crate::heap::BoundedMinHeap;
+use tkspmv::TopKResult;
+
+/// Exact multi-threaded CPU Top-K SpMV.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_baselines::cpu::CpuTopK;
+/// use tkspmv_sparse::Csr;
+///
+/// let csr = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 0.5)])?;
+/// let out = CpuTopK::new(2).run(&csr, &[1.0, 1.0], 1);
+/// assert_eq!(out.indices(), vec![0]);
+/// # Ok::<(), tkspmv_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CpuTopK {
+    threads: usize,
+}
+
+/// A timed CPU run: the exact result plus measured wall-clock seconds.
+#[derive(Debug, Clone)]
+pub struct CpuRun {
+    /// Exact Top-K result.
+    pub topk: TopKResult,
+    /// Measured wall-clock seconds.
+    pub seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl CpuTopK {
+    /// Creates a runner with the given worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        Self { threads }
+    }
+
+    /// A runner using all available parallelism.
+    pub fn with_all_cores() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Computes the exact Top-K of `csr * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != csr.num_cols()` or `k == 0`.
+    pub fn run(&self, csr: &Csr, x: &[f32], k: usize) -> TopKResult {
+        self.run_timed(csr, x, k).topk
+    }
+
+    /// Like [`CpuTopK::run`] but also measures wall-clock time (the
+    /// Figure 5 baseline measurement).
+    pub fn run_timed(&self, csr: &Csr, x: &[f32], k: usize) -> CpuRun {
+        assert_eq!(x.len(), csr.num_cols(), "vector length mismatch");
+        assert!(k > 0, "k must be positive");
+        let started = Instant::now();
+        let threads = self.threads.min(csr.num_rows()).max(1);
+        let rows_per_thread = csr.num_rows().div_ceil(threads);
+
+        let heaps: Vec<BoundedMinHeap> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = t * rows_per_thread;
+                    let hi = ((t + 1) * rows_per_thread).min(csr.num_rows());
+                    scope.spawn(move |_| {
+                        let mut heap = BoundedMinHeap::new(k);
+                        for r in lo..hi {
+                            let mut acc = 0.0f64;
+                            for (c, v) in csr.row(r) {
+                                acc += v as f64 * x[c as usize] as f64;
+                            }
+                            heap.push(r as u32, acc);
+                        }
+                        heap
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+
+        let mut merged = BoundedMinHeap::new(k);
+        for h in heaps {
+            merged.merge(h);
+        }
+        CpuRun {
+            topk: TopKResult::from_pairs(merged.into_sorted_desc()),
+            seconds: started.elapsed().as_secs_f64(),
+            threads,
+        }
+    }
+}
+
+/// The exact Top-K oracle in `f64` — ground truth for every accuracy
+/// metric in the evaluation (single-threaded, unambiguous).
+pub fn exact_topk(csr: &Csr, x: &[f32], k: usize) -> TopKResult {
+    let y = csr.spmv_exact(x);
+    let pairs: Vec<(u32, f64)> = y
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i as u32, v))
+        .collect();
+    TopKResult::from_pairs(pairs).truncated(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+
+    fn matrix(seed: u64) -> Csr {
+        SyntheticConfig {
+            num_rows: 3000,
+            num_cols: 256,
+            avg_nnz_per_row: 16,
+            distribution: NnzDistribution::table3_gamma(),
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn multithreaded_matches_oracle() {
+        let csr = matrix(1);
+        let x = query_vector(256, 2);
+        let oracle = exact_topk(&csr, x.as_slice(), 50);
+        for threads in [1, 2, 4, 8] {
+            let got = CpuTopK::new(threads).run(&csr, x.as_slice(), 50);
+            assert_eq!(got.indices(), oracle.indices(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn timed_run_reports_duration() {
+        let csr = matrix(2);
+        let x = query_vector(256, 3);
+        let run = CpuTopK::new(2).run_timed(&csr, x.as_slice(), 10);
+        assert!(run.seconds > 0.0);
+        assert_eq!(run.threads, 2);
+        assert_eq!(run.topk.len(), 10);
+    }
+
+    #[test]
+    fn k_larger_than_rows_returns_all() {
+        let csr = Csr::from_triplets(2, 2, &[(0, 0, 0.5), (1, 1, 0.25)]).unwrap();
+        let out = CpuTopK::new(4).run(&csr, &[1.0, 1.0], 10);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_safe() {
+        let csr = Csr::from_triplets(3, 2, &[(0, 0, 0.5), (2, 1, 0.25)]).unwrap();
+        let out = CpuTopK::new(64).run(&csr, &[1.0, 1.0], 2);
+        assert_eq!(out.indices(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn wrong_vector_length_panics() {
+        let csr = Csr::from_triplets(1, 2, &[(0, 0, 0.5)]).unwrap();
+        let _ = CpuTopK::new(1).run(&csr, &[1.0], 1);
+    }
+}

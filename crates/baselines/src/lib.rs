@@ -1,0 +1,35 @@
+//! Baseline Top-K SpMV implementations the paper compares against.
+//!
+//! - [`cpu`]: a multi-threaded exact CSR Top-K SpMV equivalent to
+//!   `sparse_dot_topn` (the paper's CPU baseline, its ref. 1): row-parallel
+//!   dot products with per-thread bounded heaps, f32 arithmetic.
+//! - [`gpu`]: the paper has no GPU Top-K SpMV to compare against, so it
+//!   models one as cuSPARSE SpMV followed by a Thrust radix sort (plus an
+//!   idealised "zero-cost sorting" variant). [`gpu::GpuModel`] reproduces
+//!   that: functional results computed bit-exactly in `f32`/software
+//!   `f16`, execution time from an analytic bandwidth model calibrated to
+//!   the Tesla P100.
+//! - [`radix_sort`]: the LSD radix sort used by the GPU model (and a
+//!   baseline in its own right for the sorting-cost analysis).
+//! - [`heap`]: the bounded min-heap underlying the CPU baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use tkspmv_baselines::cpu::CpuTopK;
+//! use tkspmv_sparse::Csr;
+//!
+//! let csr = Csr::from_triplets(3, 4, &[(0, 0, 0.9), (1, 1, 0.5), (2, 2, 0.7)])?;
+//! let cpu = CpuTopK::new(2);
+//! let out = cpu.run(&csr, &[1.0, 1.0, 1.0, 1.0], 2);
+//! assert_eq!(out.indices(), vec![0, 2]);
+//! # Ok::<(), tkspmv_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod heap;
+pub mod radix_sort;

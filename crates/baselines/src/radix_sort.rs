@@ -1,0 +1,143 @@
+//! LSD radix sort on `(score, index)` pairs — the Thrust sort stage of
+//! the GPU baseline, reimplemented.
+//!
+//! Thrust's `sort_by_key` on floats is a radix sort over an
+//! order-preserving bit transform of the IEEE encoding. The same
+//! transform is used here: flip the sign bit for non-negative floats,
+//! invert all bits for negatives, then sort the resulting `u32` keys
+//! byte by byte with counting passes.
+
+/// Maps an `f32` to a `u32` whose unsigned order matches the float's
+/// total order (NaNs sort above +inf as in `total_cmp`).
+pub fn float_to_sortable_bits(v: f32) -> u32 {
+    let bits = v.to_bits();
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000
+    }
+}
+
+/// Inverse of [`float_to_sortable_bits`].
+pub fn sortable_bits_to_float(bits: u32) -> f32 {
+    if bits & 0x8000_0000 != 0 {
+        f32::from_bits(bits ^ 0x8000_0000)
+    } else {
+        f32::from_bits(!bits)
+    }
+}
+
+/// Sorts `(score, index)` pairs by score **descending** with a 4-pass
+/// LSD radix sort (8 bits per pass), exactly what a GPU radix sorter
+/// does per block.
+///
+/// Stable within equal scores (preserves index order of equal keys).
+pub fn radix_sort_desc(pairs: &mut Vec<(f32, u32)>) {
+    let n = pairs.len();
+    if n <= 1 {
+        return;
+    }
+    // Work on sortable keys; invert so an ascending radix pass yields
+    // descending float order.
+    let mut src: Vec<(u32, u32)> = pairs
+        .iter()
+        .map(|&(s, i)| (!float_to_sortable_bits(s), i))
+        .collect();
+    let mut dst: Vec<(u32, u32)> = vec![(0, 0); n];
+    for pass in 0..4 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &(k, _) in &src {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for (o, &c) in offsets.iter_mut().zip(&counts) {
+            *o = acc;
+            acc += c;
+        }
+        for &(k, i) in &src {
+            let bucket = ((k >> shift) & 0xFF) as usize;
+            dst[offsets[bucket]] = (k, i);
+            offsets[bucket] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    pairs.clear();
+    pairs.extend(
+        src.into_iter()
+            .map(|(k, i)| (sortable_bits_to_float(!k), i)),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_transform_preserves_order() {
+        let values = [-100.0f32, -1.5, -0.0, 0.0, 1e-20, 0.5, 1.0, 65504.0];
+        for w in values.windows(2) {
+            assert!(
+                float_to_sortable_bits(w[0]) <= float_to_sortable_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn bit_transform_round_trips() {
+        for v in [-3.5f32, -0.0, 0.0, 0.1, 7.25, f32::MAX, f32::MIN] {
+            let rt = sortable_bits_to_float(float_to_sortable_bits(v));
+            assert_eq!(rt.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let mut pairs = vec![(0.1f32, 0u32), (0.9, 1), (0.5, 2), (0.7, 3)];
+        radix_sort_desc(&mut pairs);
+        let scores: Vec<f32> = pairs.iter().map(|&(s, _)| s).collect();
+        assert_eq!(scores, vec![0.9, 0.7, 0.5, 0.1]);
+        assert_eq!(pairs[0].1, 1);
+    }
+
+    #[test]
+    fn handles_negatives_and_zero() {
+        let mut pairs = vec![(-0.5f32, 0u32), (0.0, 1), (-2.0, 2), (1.0, 3)];
+        radix_sort_desc(&mut pairs);
+        let idx: Vec<u32> = pairs.iter().map(|&(_, i)| i).collect();
+        assert_eq!(idx, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn matches_std_sort_on_large_input() {
+        let mut state = 99u64;
+        let mut pairs: Vec<(f32, u32)> = (0..10_000u32)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5, i)
+            })
+            .collect();
+        let mut expected = pairs.clone();
+        expected.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        radix_sort_desc(&mut pairs);
+        // Radix sort is stable; equal keys keep insertion order, matching
+        // the tie-break above.
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<(f32, u32)> = vec![];
+        radix_sort_desc(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![(0.5f32, 7u32)];
+        radix_sort_desc(&mut v);
+        assert_eq!(v, vec![(0.5, 7)]);
+    }
+}

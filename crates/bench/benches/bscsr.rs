@@ -1,0 +1,56 @@
+//! Throughput of BS-CSR encode/decode against packed-COO, in
+//! non-zeros/second — the software-side cost of the format.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tkspmv_fixed::Q1_19;
+use tkspmv_sparse::gen::{NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::{BsCsr, CooPacketKind, CooPackets, Csr, PacketLayout};
+
+fn matrix(rows: usize) -> Csr {
+    SyntheticConfig {
+        num_rows: rows,
+        num_cols: 1024,
+        avg_nnz_per_row: 20,
+        distribution: NnzDistribution::Uniform,
+        seed: 1,
+    }
+    .generate()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bscsr_encode");
+    for rows in [1_000usize, 10_000] {
+        let csr = matrix(rows);
+        let layout = PacketLayout::solve(1024, 20).unwrap();
+        group.throughput(Throughput::Elements(csr.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &csr, |b, csr| {
+            b.iter(|| BsCsr::encode::<Q1_19>(csr, layout));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bscsr_decode");
+    let csr = matrix(10_000);
+    let layout = PacketLayout::solve(1024, 20).unwrap();
+    let bs = BsCsr::encode::<Q1_19>(&csr, layout);
+    group.throughput(Throughput::Elements(bs.stored_entries()));
+    group.bench_function("entries_iter", |b| {
+        b.iter(|| bs.entries().map(|(_, _, v)| v).sum::<u64>());
+    });
+    group.finish();
+}
+
+fn bench_coo_packets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coo_packets_encode");
+    let csr = matrix(10_000);
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    group.bench_function("naive", |b| {
+        b.iter(|| CooPackets::encode::<tkspmv_fixed::F32>(&csr, CooPacketKind::Naive));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_coo_packets);
+criterion_main!(benches);

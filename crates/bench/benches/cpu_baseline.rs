@@ -1,0 +1,30 @@
+//! CPU baseline scaling with thread count — the measured side of the
+//! Figure 5 comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tkspmv_baselines::cpu::CpuTopK;
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+
+fn bench_cpu(c: &mut Criterion) {
+    let csr = SyntheticConfig {
+        num_rows: 50_000,
+        num_cols: 512,
+        avg_nnz_per_row: 20,
+        distribution: NnzDistribution::Uniform,
+        seed: 4,
+    }
+    .generate();
+    let x = query_vector(512, 5);
+    let mut group = c.benchmark_group("cpu_topk");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let cpu = CpuTopK::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &cpu, |b, cpu| {
+            b.iter(|| cpu.run(&csr, x.as_slice(), 100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu);
+criterion_main!(benches);

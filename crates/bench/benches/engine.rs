@@ -1,0 +1,48 @@
+//! Emulator core throughput per precision — how fast the software
+//! model chews through packets (not the FPGA's modelled speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tkspmv::{quantize_vector, run_core, Fidelity};
+use tkspmv_fixed::{Q1_19, Q1_31, F32};
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::{BsCsr, Csr, PacketLayout};
+
+fn matrix() -> Csr {
+    SyntheticConfig {
+        num_rows: 20_000,
+        num_cols: 1024,
+        avg_nnz_per_row: 20,
+        distribution: NnzDistribution::table3_gamma(),
+        seed: 2,
+    }
+    .generate()
+}
+
+fn bench_core(c: &mut Criterion) {
+    let csr = matrix();
+    let x = query_vector(1024, 3);
+    let mut group = c.benchmark_group("engine_core");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+
+    let bs20 = BsCsr::encode::<Q1_19>(&csr, PacketLayout::solve(1024, 20).unwrap());
+    let x20 = quantize_vector::<Q1_19>(x.as_slice());
+    group.bench_with_input(BenchmarkId::new("fixed", 20), &(), |b, ()| {
+        b.iter(|| run_core::<Q1_19>(&bs20, &x20, 8, Fidelity::Reference));
+    });
+
+    let bs32 = BsCsr::encode::<Q1_31>(&csr, PacketLayout::solve(1024, 32).unwrap());
+    let x32 = quantize_vector::<Q1_31>(x.as_slice());
+    group.bench_with_input(BenchmarkId::new("fixed", 32), &(), |b, ()| {
+        b.iter(|| run_core::<Q1_31>(&bs32, &x32, 8, Fidelity::Reference));
+    });
+
+    let bsf = BsCsr::encode::<F32>(&csr, PacketLayout::solve(1024, 32).unwrap());
+    let xf = quantize_vector::<F32>(x.as_slice());
+    group.bench_with_input(BenchmarkId::new("float", 32), &(), |b, ()| {
+        b.iter(|| run_core::<F32>(&bsf, &xf, 8, Fidelity::Reference));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

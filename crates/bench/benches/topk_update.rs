@@ -1,0 +1,32 @@
+//! Top-K scratchpad update cost vs k — the RAW-dependency the paper
+//! cites as the reason k stays small (§IV-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tkspmv::TopKTracker;
+
+fn bench_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_tracker_insert");
+    // A deterministic candidate stream.
+    let candidates: Vec<(u32, u64)> = (0..100_000u32)
+        .map(|i| {
+            let v = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 20;
+            (i, v)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(candidates.len() as u64));
+    for k in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = TopKTracker::<u64>::new(k);
+                for &(i, v) in &candidates {
+                    t.insert(i, v);
+                }
+                t.into_sorted()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracker);
+criterion_main!(benches);

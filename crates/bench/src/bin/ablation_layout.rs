@@ -1,0 +1,20 @@
+//! Ablation of the packet layout design space (§IV-C capacity
+//! equation): B as a function of value width V and embedding size M.
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::ablation;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Ablation — BS-CSR packet layout design space",
+        "DAC'21 SIV-C: B*(ceil(log2 B) + ceil(log2 M) + V) + 1 <= 512",
+        &cli,
+    );
+    print!(
+        "{}",
+        ablation::layout_table(&ablation::run_layout_sweep()).to_markdown()
+    );
+    println!();
+    println!("paper reference: B = 15 (V=20), 13 (V=25), 11 (V=32) at M = 1024");
+}

@@ -1,0 +1,16 @@
+//! Ablation of `r` (rows tracked per packet, §IV-B): accuracy and
+//! modelled LUT cost as `r` shrinks from B to 1.
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::ablation;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Ablation — r (row-completion slots per packet)",
+        "DAC'21 §IV-B: B/4 < r < B/2 saves up to 50% logic, no accuracy loss",
+        &cli,
+    );
+    let rows = ablation::run_r_sweep(&cli.config);
+    print!("{}", ablation::r_sweep_table(&rows).to_markdown());
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 3: non-zeros per 512-bit packet for naive COO,
+//! optimised COO and BS-CSR.
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::packing;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Figure 3 — packet packing density",
+        "DAC'21 Figure 3 (M < 1024, V = 20 bits)",
+        &cli,
+    );
+    print!("{}", packing::to_table(&packing::run()).to_markdown());
+    println!();
+    println!("paper reference: 5 / 8 / 15 non-zeros per packet (3x gain for BS-CSR)");
+}

@@ -1,0 +1,27 @@
+//! Reproduces Figure 5: speedup over the CPU baseline for the GPU
+//! models and the four FPGA designs (K = 100).
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::speedup;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Figure 5 — execution-time speedup vs CPU (K = 100)",
+        "DAC'21 Figure 5 (CPU measured on this host; GPU/FPGA modelled)",
+        &cli,
+    );
+    let rows = speedup::run(&cli.config);
+    print!("{}", speedup::to_table(&rows).to_markdown());
+    println!();
+    println!("paper reference (N = 10^7 panel): GPU F32 SpMV 51x, GPU F16 SpMV 58x,");
+    println!("  FPGA 20b 106x, 25b 88x, 32b 89x, F32 43x; FPGA 20b ~2x idealised GPU");
+    for r in &rows {
+        println!(
+            "  {}: FPGA20b/GPU-F32-SpMV ratio = {:.2}x, throughput {:.1} GNNZ/s",
+            r.group.label(),
+            r.fpga[0] / r.gpu_f32_spmv_only,
+            r.fpga20_nnz_per_sec() / 1e9,
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduces Figure 6: roofline of the FPGA design (a) across core
+//! counts and packet capacities, (b) against CPU and GPU.
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::roofline;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Figure 6 — roofline model",
+        "DAC'21 Figure 6 (13.2 GB/s per HBM channel)",
+        &cli,
+    );
+    println!("(a) attainable GNNZ/s by core count and packet capacity B:");
+    print!(
+        "{}",
+        roofline::series_table(&roofline::bandwidth_series()).to_markdown()
+    );
+    println!();
+    println!("(b) architecture points (N = 10^7 dataset):");
+    let points = roofline::architecture_points(&cli.config);
+    print!("{}", roofline::points_table(&points).to_markdown());
+    println!();
+    println!("paper reference: BS-CSR raises OI 3x (B=15 vs 5); FPGA has the highest");
+    println!("  OI and performance; performance scales linearly with channels");
+}

@@ -1,0 +1,20 @@
+//! Reproduces §V-B: performance per watt of CPU, GPU and the FPGA
+//! designs (device power from the Table II model, throughput from the
+//! Figure 5 experiment).
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::power;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Power efficiency (SV-B)",
+        "DAC'21 SV-B: 400x CPU and 14.2x GPU performance/W",
+        &cli,
+    );
+    let rows = power::run(&cli.config);
+    print!("{}", power::to_table(&rows).to_markdown());
+    println!();
+    println!("paper reference: FPGA 35 W, CPU ~300 W, GPU 250 W; fixed-point FPGA");
+    println!("  gives 400x CPU and 14.2x idealised-GPU performance per watt");
+}

@@ -1,0 +1,66 @@
+//! Runs every table/figure reproduction in sequence — the one-shot
+//! regeneration of the paper's evaluation section.
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::{
+    ablation, accuracy, datasets_table, packing, precision_table, resources_table, roofline,
+    speedup,
+};
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Full evaluation sweep",
+        "DAC'21 Tables I-III, Figures 3, 5-7, + ablations",
+        &cli,
+    );
+
+    println!("--- Table I ---");
+    print!(
+        "{}",
+        precision_table::to_table(&precision_table::run(cli.trials, cli.config.seed))
+            .to_markdown()
+    );
+    println!("\n--- Table II ---");
+    print!(
+        "{}",
+        resources_table::to_table(&resources_table::run()).to_markdown()
+    );
+    println!("\n--- Table III ---");
+    print!(
+        "{}",
+        datasets_table::to_table(&datasets_table::run(&cli.config)).to_markdown()
+    );
+    println!("\n--- Figure 3 ---");
+    print!("{}", packing::to_table(&packing::run()).to_markdown());
+    println!("\n--- Figure 5 ---");
+    print!(
+        "{}",
+        speedup::to_table(&speedup::run(&cli.config)).to_markdown()
+    );
+    println!("\n--- Figure 6a ---");
+    print!(
+        "{}",
+        roofline::series_table(&roofline::bandwidth_series()).to_markdown()
+    );
+    println!("\n--- Figure 6b ---");
+    print!(
+        "{}",
+        roofline::points_table(&roofline::architecture_points(&cli.config)).to_markdown()
+    );
+    println!("\n--- Figure 7 ---");
+    print!(
+        "{}",
+        accuracy::to_table(&accuracy::run(&cli.config)).to_markdown()
+    );
+    println!("\n--- Ablation: r ---");
+    print!(
+        "{}",
+        ablation::r_sweep_table(&ablation::run_r_sweep(&cli.config)).to_markdown()
+    );
+    println!("\n--- Ablation: layout ---");
+    print!(
+        "{}",
+        ablation::layout_table(&ablation::run_layout_sweep()).to_markdown()
+    );
+}

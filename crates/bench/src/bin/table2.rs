@@ -1,0 +1,24 @@
+//! Reproduces Table II: resource usage, clock and power of the four
+//! FPGA designs (calibrated analytic model).
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::resources_table;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Table II — resource usage, clock, power (modelled)",
+        "DAC'21 Table II (xcu280, 32 cores)",
+        &cli,
+    );
+    let rows = resources_table::run();
+    print!("{}", resources_table::to_table(&rows).to_markdown());
+    println!();
+    println!("paper reference rows:");
+    for (label, util, clock, power) in resources_table::paper_reference() {
+        println!(
+            "  {label}: LUT {:.0}% FF {:.0}% BRAM {:.0}% URAM {:.0}% DSP {:.0}% | {clock} MHz | {power} W",
+            util[0] * 100.0, util[1] * 100.0, util[2] * 100.0, util[3] * 100.0, util[4] * 100.0
+        );
+    }
+}

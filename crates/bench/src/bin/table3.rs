@@ -1,0 +1,20 @@
+//! Reproduces Table III: the 19 evaluation matrices with their BS-CSR
+//! memory footprints (generated at --scale, extrapolated to full size).
+
+use tkspmv_bench::{banner, Cli};
+use tkspmv_eval::experiments::datasets_table;
+
+fn main() {
+    let cli = Cli::from_env();
+    banner(
+        "Table III — evaluation matrices",
+        "DAC'21 Table III (M = 512/1024, BS-CSR sizes)",
+        &cli,
+    );
+    let rows = datasets_table::run(&cli.config);
+    print!("{}", datasets_table::to_table(&rows).to_markdown());
+    println!();
+    println!(
+        "paper reference: uniform N=10^7 -> 2-4*10^8 nnz, 0.8-1.7 GB; naive COO would be 3x larger"
+    );
+}

@@ -1,0 +1,559 @@
+//! Host-facing accelerator API.
+//!
+//! [`Accelerator`] plays the role of the paper's host program: it
+//! validates a design configuration against the device model, encodes
+//! the embedding collection into per-channel BS-CSR partitions
+//! ([`Accelerator::load_matrix`]), and launches queries that run the
+//! multi-core engine and return ranked results with a performance model
+//! report ([`Accelerator::query`]).
+
+use tkspmv_fixed::{Half, Precision, Q1_19, Q1_24, Q1_31, F32};
+use tkspmv_hw::{ChannelModel, DesignPoint, HbmConfig, ResourceModel, UramBudget};
+use tkspmv_sparse::{BsCsr, Csr, DenseVector, PacketLayout};
+
+use crate::engine::{quantize_vector, run_multicore, CoreStats, Fidelity};
+use crate::error::EngineError;
+use crate::perf::PerfReport;
+use crate::topk::TopKResult;
+
+/// Validated accelerator configuration (see [`Accelerator::builder`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Numeric design (Table II row).
+    pub precision: Precision,
+    /// Cores = HBM channels used (32 in the paper).
+    pub cores: u32,
+    /// Per-core Top-k depth (8 in the paper).
+    pub k: usize,
+    /// `r` row slots per packet, or `None` for the reference (no-limit)
+    /// datapath.
+    pub rows_per_packet: Option<u32>,
+    /// HBM stack parameters.
+    pub hbm: HbmConfig,
+}
+
+/// Builder for [`Accelerator`].
+///
+/// # Example
+///
+/// ```
+/// use tkspmv::Accelerator;
+/// use tkspmv_fixed::Precision;
+///
+/// let acc = Accelerator::builder()
+///     .precision(Precision::Fixed20)
+///     .cores(32)
+///     .k(8)
+///     .build()?;
+/// assert_eq!(acc.config().cores, 32);
+/// # Ok::<(), tkspmv::EngineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratorBuilder {
+    precision: Precision,
+    cores: u32,
+    k: usize,
+    rows_per_packet: Option<u32>,
+    hbm: HbmConfig,
+}
+
+impl Default for AcceleratorBuilder {
+    fn default() -> Self {
+        Self {
+            precision: Precision::Fixed20,
+            cores: 32,
+            k: 8,
+            rows_per_packet: None,
+            hbm: HbmConfig::alveo_u280(),
+        }
+    }
+}
+
+impl AcceleratorBuilder {
+    /// Selects the numeric design (default: 20-bit fixed point).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Number of cores / HBM channels (default 32).
+    pub fn cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Per-core Top-k depth (default 8).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Limits the row-completion slots per packet (`r` of §IV-B). By
+    /// default the hardware default `r = B/2` is applied at load time.
+    pub fn rows_per_packet(mut self, r: u32) -> Self {
+        self.rows_per_packet = Some(r);
+        self
+    }
+
+    /// Substitutes a different HBM configuration (e.g. a smaller card).
+    pub fn hbm(mut self, hbm: HbmConfig) -> Self {
+        self.hbm = hbm;
+        self
+    }
+
+    /// Validates and builds the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] if `cores` is zero or
+    /// exceeds the HBM channel count, or if `k` is zero.
+    pub fn build(self) -> Result<Accelerator, EngineError> {
+        if self.cores == 0 || self.cores > self.hbm.num_channels {
+            return Err(EngineError::InvalidConfig {
+                detail: format!(
+                    "cores must be in 1..={}, got {}",
+                    self.hbm.num_channels, self.cores
+                ),
+            });
+        }
+        if self.k == 0 {
+            return Err(EngineError::InvalidConfig {
+                detail: "k must be at least 1".to_string(),
+            });
+        }
+        if let Some(r) = self.rows_per_packet {
+            if r == 0 {
+                return Err(EngineError::InvalidConfig {
+                    detail: "rows_per_packet must be at least 1".to_string(),
+                });
+            }
+        }
+        Ok(Accelerator {
+            config: AcceleratorConfig {
+                precision: self.precision,
+                cores: self.cores,
+                k: self.k,
+                rows_per_packet: self.rows_per_packet,
+                hbm: self.hbm,
+            },
+            resources: ResourceModel::alveo_u280(),
+        })
+    }
+}
+
+/// The emulated multi-core Top-K SpMV accelerator.
+///
+/// See the crate-level documentation for the full workflow.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    resources: ResourceModel,
+}
+
+impl Accelerator {
+    /// Starts building an accelerator with the paper's defaults
+    /// (20-bit fixed point, 32 cores, k = 8).
+    pub fn builder() -> AcceleratorBuilder {
+        AcceleratorBuilder::default()
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The resource model used for feasibility checks and Table II.
+    pub fn resources(&self) -> &ResourceModel {
+        &self.resources
+    }
+
+    /// Resolves the design point for a matrix with `num_cols` columns
+    /// (B depends on `M` through the §IV-C capacity equation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no packet layout fits.
+    pub fn design_for(&self, num_cols: usize) -> Result<(PacketLayout, DesignPoint), EngineError> {
+        let layout = PacketLayout::solve(num_cols, self.config.precision.value_bits())?;
+        let b = layout.entries_per_packet();
+        let design = DesignPoint {
+            cores: self.config.cores,
+            b,
+            value_bits: self.config.precision.value_bits(),
+            is_float: !self.config.precision.is_fixed_point(),
+            k: self.config.k as u32,
+            r: self.config.rows_per_packet.unwrap_or((b / 2).max(1)),
+            m: num_cols,
+        };
+        Ok((layout, design))
+    }
+
+    /// Encodes and partitions an embedding collection for this
+    /// accelerator — the host's one-time upload step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Infeasible`] if the design does not place
+    /// on the device or the query vector would not fit URAM, and a
+    /// format error if the matrix cannot be encoded.
+    pub fn load_matrix(&self, csr: &Csr) -> Result<LoadedMatrix, EngineError> {
+        if csr.num_rows() == 0 {
+            return Err(EngineError::InvalidConfig {
+                detail: "matrix must have at least one row".to_string(),
+            });
+        }
+        let (layout, design) = self.design_for(csr.num_cols())?;
+        if !self.resources.is_feasible(&design) {
+            return Err(EngineError::Infeasible {
+                detail: format!("{design:?} exceeds device resources"),
+            });
+        }
+        let uram = UramBudget::alveo_u280();
+        if !uram.supports(
+            design.cores,
+            design.b,
+            design.value_bits.max(16),
+            csr.num_cols(),
+        ) {
+            return Err(EngineError::Infeasible {
+                detail: format!(
+                    "query vector of {} entries does not fit URAM at {} cores",
+                    csr.num_cols(),
+                    design.cores
+                ),
+            });
+        }
+        let cores = (self.config.cores as usize).min(csr.num_rows());
+        let partitions: Vec<(usize, BsCsr)> = csr
+            .partition_rows(cores)
+            .into_iter()
+            .map(|(first, part)| (first, self.encode_partition(&part, layout)))
+            .collect();
+        Ok(LoadedMatrix {
+            precision: self.config.precision,
+            layout,
+            design,
+            partitions,
+            num_rows: csr.num_rows(),
+            num_cols: csr.num_cols(),
+            nnz: csr.nnz() as u64,
+        })
+    }
+
+    fn encode_partition(&self, part: &Csr, layout: PacketLayout) -> BsCsr {
+        match self.config.precision {
+            Precision::Fixed20 => BsCsr::encode::<Q1_19>(part, layout),
+            Precision::Fixed25 => BsCsr::encode::<Q1_24>(part, layout),
+            Precision::Fixed32 => BsCsr::encode::<Q1_31>(part, layout),
+            Precision::Float32 => BsCsr::encode::<F32>(part, layout),
+            Precision::Half16 => BsCsr::encode::<Half>(part, layout),
+        }
+    }
+
+    /// Runs a Top-K query against a loaded matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadQuery`] if the vector length does not
+    /// match, `big_k` is zero, or `k·c < big_k` (the per-core depth
+    /// cannot cover the requested K).
+    pub fn query(
+        &self,
+        matrix: &LoadedMatrix,
+        x: &DenseVector,
+        big_k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        if x.len() != matrix.num_cols {
+            return Err(EngineError::BadQuery {
+                detail: format!(
+                    "query vector has {} entries, matrix has {} columns",
+                    x.len(),
+                    matrix.num_cols
+                ),
+            });
+        }
+        if big_k == 0 {
+            return Err(EngineError::BadQuery {
+                detail: "K must be at least 1".to_string(),
+            });
+        }
+        let covered = self.config.k * matrix.partitions.len();
+        if covered < big_k {
+            return Err(EngineError::BadQuery {
+                detail: format!(
+                    "k*c = {covered} cannot cover K = {big_k}; raise k or partitions"
+                ),
+            });
+        }
+        let fidelity = match self.config.rows_per_packet {
+            Some(r) => Fidelity::Faithful {
+                rows_per_packet: r,
+            },
+            None => Fidelity::Faithful {
+                rows_per_packet: matrix.design.r,
+            },
+        };
+        let k = self.config.k;
+        let out = match self.config.precision {
+            Precision::Fixed20 => {
+                let xs = quantize_vector::<Q1_19>(x.as_slice());
+                run_multicore::<Q1_19>(&matrix.partitions, &xs, k, big_k, fidelity)
+            }
+            Precision::Fixed25 => {
+                let xs = quantize_vector::<Q1_24>(x.as_slice());
+                run_multicore::<Q1_24>(&matrix.partitions, &xs, k, big_k, fidelity)
+            }
+            Precision::Fixed32 => {
+                let xs = quantize_vector::<Q1_31>(x.as_slice());
+                run_multicore::<Q1_31>(&matrix.partitions, &xs, k, big_k, fidelity)
+            }
+            Precision::Float32 => {
+                let xs = quantize_vector::<F32>(x.as_slice());
+                run_multicore::<F32>(&matrix.partitions, &xs, k, big_k, fidelity)
+            }
+            Precision::Half16 => {
+                let xs = quantize_vector::<Half>(x.as_slice());
+                run_multicore::<Half>(&matrix.partitions, &xs, k, big_k, fidelity)
+            }
+        };
+        let channel = self.channel_model(&matrix.design);
+        let total_packets: u64 = matrix
+            .partitions
+            .iter()
+            .map(|(_, p)| p.num_packets() as u64)
+            .sum();
+        let perf = PerfReport::from_stream(
+            &channel,
+            matrix.partitions.len() as u32,
+            out.max_packets_per_core,
+            total_packets,
+            matrix.nnz,
+        );
+        Ok(QueryOutput {
+            topk: out.topk,
+            perf,
+            core_stats: out.core_stats,
+        })
+    }
+
+    /// Runs a batch of queries against a loaded matrix, parallelising
+    /// across host threads.
+    ///
+    /// A deployment answers many queries against the same collection;
+    /// the expensive load/encode step is paid once and each query reuses
+    /// it. Results are in input order. (On the real device queries are
+    /// serialised through the kernel; the per-query [`PerfReport`]s model
+    /// that serial latency, not the host-side parallel walltime.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing query's error; queries are validated
+    /// before any runs.
+    pub fn query_batch(
+        &self,
+        matrix: &LoadedMatrix,
+        queries: &[DenseVector],
+        big_k: usize,
+    ) -> Result<Vec<QueryOutput>, EngineError> {
+        for x in queries {
+            if x.len() != matrix.num_cols {
+                return Err(EngineError::BadQuery {
+                    detail: format!(
+                        "query vector has {} entries, matrix has {} columns",
+                        x.len(),
+                        matrix.num_cols
+                    ),
+                });
+            }
+        }
+        let results: Vec<Result<QueryOutput, EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|x| scope.spawn(move || self.query(matrix, x, big_k)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query thread panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// The modelled kernel clock for a design point.
+    pub fn clock_hz(&self, design: &DesignPoint) -> f64 {
+        self.resources.clock_hz(design)
+    }
+
+    /// The modelled board power for a design point.
+    pub fn power_w(&self, design: &DesignPoint) -> f64 {
+        self.resources.power_w(design)
+    }
+
+    fn channel_model(&self, design: &DesignPoint) -> ChannelModel {
+        self.config.hbm.channel_model(self.resources.clock_hz(design))
+    }
+}
+
+/// An embedding collection encoded and partitioned for an accelerator.
+#[derive(Debug, Clone)]
+pub struct LoadedMatrix {
+    /// Precision it was encoded with.
+    pub precision: Precision,
+    /// Packet layout in use.
+    pub layout: PacketLayout,
+    /// Resolved design point.
+    pub design: DesignPoint,
+    /// `(first_row, packets)` per core.
+    pub partitions: Vec<(usize, BsCsr)>,
+    /// Total rows.
+    pub num_rows: usize,
+    /// Columns (`M`).
+    pub num_cols: usize,
+    /// Logical non-zeros.
+    pub nnz: u64,
+}
+
+impl LoadedMatrix {
+    /// Total HBM bytes occupied by the encoded partitions (Table III).
+    pub fn size_bytes(&self) -> u64 {
+        self.partitions.iter().map(|(_, p)| p.size_bytes()).sum()
+    }
+}
+
+/// Result of one query: ranked rows, modelled performance, per-core
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The approximate Top-K, best first.
+    pub topk: TopKResult,
+    /// Modelled execution performance.
+    pub perf: PerfReport,
+    /// Per-core statistics.
+    pub core_stats: Vec<CoreStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+
+    fn small_matrix() -> Csr {
+        SyntheticConfig {
+            num_rows: 1000,
+            num_cols: 512,
+            avg_nnz_per_row: 20,
+            distribution: NnzDistribution::Uniform,
+            seed: 17,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn end_to_end_query_returns_k_results() {
+        let acc = Accelerator::builder().build().unwrap();
+        let m = acc.load_matrix(&small_matrix()).unwrap();
+        let out = acc.query(&m, &query_vector(512, 1), 100).unwrap();
+        assert_eq!(out.topk.len(), 100);
+        assert_eq!(out.core_stats.len(), 32);
+        assert!(out.perf.seconds > 0.0);
+        // Scores are descending.
+        let scores = out.topk.scores();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(Accelerator::builder().cores(0).build().is_err());
+        assert!(Accelerator::builder().cores(64).build().is_err());
+        assert!(Accelerator::builder().k(0).build().is_err());
+        assert!(Accelerator::builder().rows_per_packet(0).build().is_err());
+        assert!(Accelerator::builder().cores(16).k(4).build().is_ok());
+    }
+
+    #[test]
+    fn query_validation() {
+        let acc = Accelerator::builder().k(2).cores(4).build().unwrap();
+        let m = acc.load_matrix(&small_matrix()).unwrap();
+        // Wrong vector length.
+        assert!(acc.query(&m, &query_vector(100, 1), 4).is_err());
+        // K = 0.
+        assert!(acc.query(&m, &query_vector(512, 1), 0).is_err());
+        // K beyond k*c = 8.
+        assert!(acc.query(&m, &query_vector(512, 1), 9).is_err());
+        assert!(acc.query(&m, &query_vector(512, 1), 8).is_ok());
+    }
+
+    #[test]
+    fn all_precisions_run() {
+        for p in [
+            Precision::Fixed20,
+            Precision::Fixed25,
+            Precision::Fixed32,
+            Precision::Float32,
+            Precision::Half16,
+        ] {
+            let acc = Accelerator::builder().precision(p).build().unwrap();
+            let m = acc.load_matrix(&small_matrix()).unwrap();
+            let out = acc.query(&m, &query_vector(512, 3), 10).unwrap();
+            assert_eq!(out.topk.len(), 10, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn design_point_depends_on_matrix_width() {
+        let acc = Accelerator::builder().build().unwrap();
+        let (_, d512) = acc.design_for(512).unwrap();
+        let (_, d65536) = acc.design_for(65536).unwrap();
+        assert!(d512.b > d65536.b, "wider index -> smaller B");
+    }
+
+    #[test]
+    fn oversized_query_vector_is_infeasible() {
+        let acc = Accelerator::builder().build().unwrap();
+        // 200k columns do not fit URAM replicated at 32 cores.
+        let wide = Csr::from_triplets(2, 200_000, &[(0, 0, 0.5), (1, 7, 0.5)]).unwrap();
+        let err = acc.load_matrix(&wide).unwrap_err();
+        assert!(matches!(err, EngineError::Infeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn fewer_rows_than_cores_clamps_partitions() {
+        let acc = Accelerator::builder().cores(32).k(8).build().unwrap();
+        let tiny = Csr::from_triplets(3, 16, &[(0, 0, 0.9), (1, 1, 0.5), (2, 2, 0.7)]).unwrap();
+        let m = acc.load_matrix(&tiny).unwrap();
+        assert_eq!(m.partitions.len(), 3);
+        // All-ones query makes scores equal to the stored values.
+        let ones = tkspmv_sparse::DenseVector::from_values(vec![1.0; 16]);
+        let out = acc.query(&m, &ones, 3).unwrap();
+        assert_eq!(out.topk.indices(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn loaded_matrix_reports_size() {
+        let acc = Accelerator::builder().build().unwrap();
+        let m = acc.load_matrix(&small_matrix()).unwrap();
+        assert!(m.size_bytes() > 0);
+        assert_eq!(m.size_bytes() % 64, 0);
+    }
+
+    #[test]
+    fn query_batch_matches_individual_queries() {
+        let acc = Accelerator::builder().cores(8).k(8).build().unwrap();
+        let m = acc.load_matrix(&small_matrix()).unwrap();
+        let queries: Vec<_> = (0..4u64).map(|q| query_vector(512, 10 + q)).collect();
+        let batch = acc.query_batch(&m, &queries, 20).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (x, out) in queries.iter().zip(&batch) {
+            let single = acc.query(&m, x, 20).unwrap();
+            assert_eq!(single.topk, out.topk);
+        }
+    }
+
+    #[test]
+    fn query_batch_validates_before_running() {
+        let acc = Accelerator::builder().cores(8).k(8).build().unwrap();
+        let m = acc.load_matrix(&small_matrix()).unwrap();
+        let queries = vec![query_vector(512, 1), query_vector(99, 2)];
+        assert!(acc.query_batch(&m, &queries, 10).is_err());
+    }
+}

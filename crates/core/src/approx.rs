@@ -1,0 +1,188 @@
+//! Approximation quality of the partitioned Top-K scheme (§III-A).
+//!
+//! Splitting the matrix over `c` cores that each keep only their local
+//! top-`k` loses a true Top-K member exactly when its partition holds
+//! more than `k` of the true Top-K (Figure 2). This module provides:
+//!
+//! - [`expected_precision`]: a closed-form expectation. Each partition's
+//!   count of Top-K members is hypergeometric
+//!   (`N/c` of `N` rows, `K` marked); the expected number of *lost*
+//!   members is `c · E[max(0, X − k)]`, so
+//!   `E[P] = 1 − c · Σ_{j>k} (j − k) · P[X = j] / K`.
+//!   (Equation (1) in the paper prints a union-bound variant of the same
+//!   quantity with the second binomial factor elided; the hypergeometric
+//!   form here is the exact expectation the Monte Carlo converges to.)
+//! - [`monte_carlo_precision`]: the simulation the paper uses for
+//!   Table I (1000 trials).
+
+use tkspmv_sparse::gen::Rng64;
+
+use crate::math::hypergeometric_pmf;
+
+/// Closed-form expected precision of partitioned Top-K retrieval.
+///
+/// `n`: matrix rows; `c`: partitions; `k`: per-partition depth;
+/// `big_k`: requested Top-K.
+///
+/// # Panics
+///
+/// Panics if any parameter is zero or `c > n`.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv::approx::expected_precision;
+///
+/// // Table I, N = 10^6, c = 16, k = 8: precision 1.0 at K = 8,
+/// // ~0.94 at K = 100.
+/// let p8 = expected_precision(1_000_000, 16, 8, 8);
+/// let p100 = expected_precision(1_000_000, 16, 8, 100);
+/// assert!(p8 > 0.999);
+/// assert!((0.92..0.96).contains(&p100));
+/// ```
+pub fn expected_precision(n: u64, c: u64, k: u64, big_k: u64) -> f64 {
+    assert!(n > 0 && c > 0 && k > 0 && big_k > 0, "parameters must be positive");
+    assert!(c <= n, "more partitions than rows");
+    let part = n / c;
+    if big_k <= k {
+        // A partition can hold at most K <= k members: nothing is lost.
+        return 1.0;
+    }
+    let mut expected_lost = 0.0;
+    for j in (k + 1)..=big_k.min(part) {
+        let p = hypergeometric_pmf(n, big_k, part, j);
+        expected_lost += (j - k) as f64 * p;
+    }
+    (1.0 - c as f64 * expected_lost / big_k as f64).max(0.0)
+}
+
+/// Monte Carlo estimate of partitioned Top-K precision (Table I's
+/// methodology: average over `trials` random placements of the Top-K
+/// rows).
+///
+/// # Panics
+///
+/// Panics if any parameter is zero, `c > n`, or `trials == 0`.
+pub fn monte_carlo_precision(
+    n: u64,
+    c: u64,
+    k: u64,
+    big_k: u64,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(n > 0 && c > 0 && k > 0 && big_k > 0, "parameters must be positive");
+    assert!(c <= n, "more partitions than rows");
+    assert!(trials > 0, "need at least one trial");
+    let mut rng = Rng64::new(seed);
+    let mut total = 0.0;
+    let mut counts = vec![0u64; c as usize];
+    for _ in 0..trials {
+        counts.fill(0);
+        // Place each of the K top rows in a uniformly random partition.
+        // (Partitions have N/c rows; for N >> K the hypergeometric and
+        // this multinomial placement coincide.)
+        for _ in 0..big_k {
+            counts[rng.range_usize(0, c as usize)] += 1;
+        }
+        let lost: u64 = counts.iter().map(|&x| x.saturating_sub(k)).sum();
+        total += 1.0 - lost as f64 / big_k as f64;
+    }
+    total / trials as f64
+}
+
+/// Smallest number of partitions for which the closed-form expected
+/// precision reaches `target` (searching powers of two up to 256 then
+/// the exact 32-channel bound).
+///
+/// Mirrors the paper's observation that "having at least 16 partitions
+/// guarantees a minimal loss of precision".
+pub fn partitions_for_precision(n: u64, k: u64, big_k: u64, target: f64) -> Option<u64> {
+    [1u64, 2, 4, 8, 16, 28, 32, 64, 128, 256]
+        .into_iter()
+        .find(|&c| c <= n && expected_precision(n, c, k, big_k) >= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_k_at_least_big_k() {
+        assert_eq!(expected_precision(1_000_000, 16, 8, 8), 1.0);
+        assert_eq!(expected_precision(1_000_000, 32, 100, 100), 1.0);
+    }
+
+    #[test]
+    fn table1_row_n1e6_c16() {
+        // Table I, N = 10^6, c = 16: 1, 1, 0.999, 0.998, 0.983, 0.942
+        // for K = 8, 16, 32, 50, 75, 100.
+        let expect = [
+            (8u64, 1.0),
+            (16, 1.0),
+            (32, 0.999),
+            (50, 0.998),
+            (75, 0.983),
+            (100, 0.942),
+        ];
+        for (big_k, want) in expect {
+            let got = expected_precision(1_000_000, 16, 8, big_k);
+            assert!(
+                (got - want).abs() < 0.01,
+                "K = {big_k}: closed form {got:.4} vs paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_row_n1e6_c32() {
+        // c = 32 keeps precision >= 0.997 everywhere.
+        for big_k in [8u64, 16, 32, 50, 75, 100] {
+            let got = expected_precision(1_000_000, 32, 8, big_k);
+            assert!(got > 0.995, "K = {big_k}: {got:.4}");
+        }
+    }
+
+    #[test]
+    fn precision_improves_with_partitions() {
+        let p16 = expected_precision(10_000_000, 16, 8, 100);
+        let p28 = expected_precision(10_000_000, 28, 8, 100);
+        let p32 = expected_precision(10_000_000, 32, 8, 100);
+        assert!(p16 < p28 && p28 <= p32, "{p16} {p28} {p32}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        for (c, big_k) in [(16u64, 100u64), (28, 75), (32, 50), (16, 32)] {
+            let analytic = expected_precision(1_000_000, c, 8, big_k);
+            let mc = monte_carlo_precision(1_000_000, c, 8, big_k, 4000, 99);
+            assert!(
+                (analytic - mc).abs() < 0.01,
+                "c = {c}, K = {big_k}: closed {analytic:.4} vs MC {mc:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let a = monte_carlo_precision(1_000_000, 16, 8, 100, 500, 1);
+        let b = monte_carlo_precision(1_000_000, 16, 8, 100, 500, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_recommendation_16_partitions() {
+        // "Having at least 16 partitions guarantees a minimal loss of
+        // precision": target 94% at the worst point of Table I.
+        let c = partitions_for_precision(1_000_000, 8, 100, 0.94).unwrap();
+        assert!(c <= 16, "needed {c} partitions");
+    }
+
+    #[test]
+    fn insensitive_to_matrix_size() {
+        // Table I: N = 10^6 vs 10^7 rows differ marginally.
+        let small = expected_precision(1_000_000, 16, 8, 100);
+        let large = expected_precision(10_000_000, 16, 8, 100);
+        assert!((small - large).abs() < 0.01);
+    }
+}

@@ -1,0 +1,342 @@
+//! Single-core emulation of the 4-stage dataflow pipeline (Algorithm 1).
+
+use tkspmv_fixed::SpmvScalar;
+use tkspmv_sparse::BsCsr;
+
+use crate::topk::TopKTracker;
+
+/// How faithfully the emulator mirrors the RTL's resource-saving
+/// shortcuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Mirror the hardware exactly: at most `rows_per_packet` (`r`) rows
+    /// finishing in a single packet are offered to the Top-K stage;
+    /// later finishers in the same packet are dropped (§IV-B motivates
+    /// `B/4 < r < B/2` as accuracy-neutral).
+    Faithful {
+        /// `r`: row-completion slots per packet.
+        rows_per_packet: u32,
+    },
+    /// No `r` limit: every finished row reaches the Top-K stage. Used as
+    /// the reference for the `r` ablation.
+    Reference,
+}
+
+/// Statistics gathered while a core processes its packet stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreStats {
+    /// Packets consumed (one per cycle in steady state).
+    pub packets: u64,
+    /// Entries processed, including empty-row placeholders.
+    pub entries: u64,
+    /// Rows completed and offered to the Top-K stage.
+    pub rows_finished: u64,
+    /// Rows dropped by the `r` limit (only in [`Fidelity::Faithful`]).
+    pub rows_dropped: u64,
+    /// Candidates accepted into the scratchpad.
+    pub topk_accepted: u64,
+}
+
+/// Result of one core run: the per-partition top-k plus statistics.
+#[derive(Debug, Clone)]
+pub struct CoreOutput<A> {
+    /// `(local_row, accumulator)` pairs sorted by value descending.
+    pub topk: Vec<(u32, A)>,
+    /// Execution statistics.
+    pub stats: CoreStats,
+}
+
+/// Runs one core over a BS-CSR partition, returning its local top-`k`.
+///
+/// This follows Algorithm 1 stage by stage:
+///
+/// 1. **Scatter**: for each of the packet's `B` entries, read `x[idx]`
+///    from (emulated) URAM and form the point-wise product;
+/// 2. **Aggregation**: sum products belonging to the same row, using the
+///    packet-local `ptr` row ends;
+/// 3. **Summary**: stitch rows that span packet boundaries via the
+///    `new_row` bit and the carried partial sum;
+/// 4. **Top-K update**: offer every row finished in this packet (at most
+///    `r` in faithful mode) to the argmin scratchpad.
+///
+/// `x` must already be quantised to `S` (the URAM upload step); use
+/// [`quantize_vector`].
+///
+/// # Panics
+///
+/// Panics if `x` is shorter than the matrix's column count or if
+/// `k == 0`.
+pub fn run_core<S: SpmvScalar>(
+    matrix: &BsCsr,
+    x: &[S],
+    k: usize,
+    fidelity: Fidelity,
+) -> CoreOutput<S::Acc> {
+    assert!(
+        x.len() >= matrix.num_cols(),
+        "query vector has {} entries, matrix needs {}",
+        x.len(),
+        matrix.num_cols()
+    );
+    let mut stats = CoreStats::default();
+    let mut tracker = TopKTracker::<S::Acc>::new(k);
+
+    // Cross-packet state: the partial sum of the row left unfinished by
+    // the previous packet, and the index of the row currently being
+    // accumulated.
+    let mut carry: S::Acc = S::acc_zero();
+    let mut carry_active = false;
+    let mut current_row: u32 = 0;
+
+    for p in 0..matrix.num_packets() {
+        let view = matrix.view(p);
+        stats.packets += 1;
+        stats.entries += view.len() as u64;
+
+        // Stage 1: point-wise products (the B-wide multiplier array).
+        let products: Vec<S::Acc> = view
+            .idx
+            .iter()
+            .zip(&view.val)
+            .map(|(&idx, &raw)| S::mul(S::decode(raw), x[idx as usize]))
+            .collect();
+
+        // Stages 2+3: segmented sums between row ends, carry stitching.
+        debug_assert_eq!(
+            view.new_row, !carry_active,
+            "encoder new_row bit consistent with carry state"
+        );
+        let mut seg_start = 0usize;
+        let mut finished_in_packet = 0u32;
+        for &end in &view.row_ends {
+            let end = end as usize;
+            let mut acc = if seg_start == 0 && !view.new_row {
+                carry
+            } else {
+                S::acc_zero()
+            };
+            for prod in &products[seg_start..end] {
+                acc = S::acc_add(acc, *prod);
+            }
+            // Stage 4: Top-K update for the finished row.
+            finished_in_packet += 1;
+            let within_r = match fidelity {
+                Fidelity::Faithful { rows_per_packet } => finished_in_packet <= rows_per_packet,
+                Fidelity::Reference => true,
+            };
+            if within_r {
+                stats.rows_finished += 1;
+                if tracker.insert(current_row, acc) {
+                    stats.topk_accepted += 1;
+                }
+            } else {
+                stats.rows_dropped += 1;
+            }
+            current_row += 1;
+            seg_start = end;
+        }
+        // Unfinished tail: becomes the carry for the next packet.
+        if seg_start < products.len() {
+            let mut acc = if seg_start == 0 && !view.new_row {
+                carry
+            } else {
+                S::acc_zero()
+            };
+            for prod in &products[seg_start..] {
+                acc = S::acc_add(acc, *prod);
+            }
+            carry = acc;
+            carry_active = true;
+        } else {
+            carry = S::acc_zero();
+            carry_active = false;
+        }
+    }
+    debug_assert!(!carry_active, "no row may remain open at end of stream");
+
+    // The encoder terminates every row inside some packet, so no carry
+    // can survive the stream.
+    debug_assert_eq!(
+        current_row as usize, matrix.num_rows(),
+        "all rows must finish by end of stream"
+    );
+
+    CoreOutput {
+        topk: tracker.into_sorted(),
+        stats,
+    }
+}
+
+/// Quantises a dense query vector into the scalar domain `S` — the URAM
+/// upload step performed by the host before launching the kernel.
+pub fn quantize_vector<S: SpmvScalar>(x: &[f32]) -> Vec<S> {
+    x.iter().map(|&v| S::decode(S::encode(v as f64))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkspmv_fixed::{Q1_19, Q1_31, F32};
+    use tkspmv_sparse::{Csr, PacketLayout};
+
+    fn encode20(csr: &Csr) -> BsCsr {
+        BsCsr::encode::<Q1_19>(csr, PacketLayout::solve(csr.num_cols(), 20).unwrap())
+    }
+
+    fn ones(m: usize) -> Vec<Q1_19> {
+        quantize_vector::<Q1_19>(&vec![1.0f32; m])
+    }
+
+    #[test]
+    fn single_packet_topk_matches_row_sums() {
+        let csr = Csr::from_triplets(
+            3,
+            8,
+            &[(0, 1, 0.5), (0, 3, 0.25), (1, 0, 0.125), (2, 2, 0.9)],
+        )
+        .unwrap();
+        let bs = encode20(&csr);
+        let out = run_core::<Q1_19>(&bs, &ones(8), 2, Fidelity::Reference);
+        let rows: Vec<u32> = out.topk.iter().map(|&(r, _)| r).collect();
+        assert_eq!(rows, vec![2, 0]); // 0.9 > 0.75 > 0.125
+        assert_eq!(out.stats.rows_finished, 3);
+        assert_eq!(out.stats.packets, 1);
+    }
+
+    #[test]
+    fn rows_spanning_packets_accumulate_carry() {
+        // One row of 40 equal entries: value must be 40 * 0.02 = 0.8
+        // regardless of how packets split it (B = 15 -> 3 packets).
+        let triplets: Vec<(u32, u32, f32)> = (0..40).map(|c| (0, c, 0.02)).collect();
+        let csr = Csr::from_triplets(1, 1024, &triplets).unwrap();
+        let bs = encode20(&csr);
+        assert_eq!(bs.num_packets(), 3);
+        let out = run_core::<Q1_19>(&bs, &ones(1024), 1, Fidelity::Reference);
+        assert_eq!(out.topk.len(), 1);
+        let v = Q1_19::acc_to_f64(out.topk[0].1);
+        assert!((v - 0.8).abs() < 1e-4, "row sum {v}");
+    }
+
+    #[test]
+    fn matches_exact_spmv_within_quantisation() {
+        let csr = tkspmv_sparse::gen::SyntheticConfig {
+            num_rows: 200,
+            num_cols: 256,
+            avg_nnz_per_row: 12,
+            distribution: tkspmv_sparse::gen::NnzDistribution::Uniform,
+            seed: 42,
+        }
+        .generate();
+        let x = tkspmv_sparse::gen::query_vector(256, 7);
+        let exact = csr.spmv_exact(x.as_slice());
+        let bs = BsCsr::encode::<Q1_31>(&csr, PacketLayout::solve(256, 32).unwrap());
+        let xs = quantize_vector::<Q1_31>(x.as_slice());
+        let out = run_core::<Q1_31>(&bs, &xs, 200, Fidelity::Reference);
+        assert_eq!(out.topk.len(), 200);
+        for &(row, acc) in &out.topk {
+            let got = Q1_31::acc_to_f64(acc);
+            let want = exact[row as usize];
+            assert!((got - want).abs() < 1e-5, "row {row}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn f32_core_matches_f32_reference() {
+        let csr = Csr::from_triplets(
+            2,
+            4,
+            &[(0, 0, 0.1), (0, 1, 0.2), (1, 2, 0.3), (1, 3, 0.4)],
+        )
+        .unwrap();
+        let layout = PacketLayout::solve(4, 32).unwrap();
+        let bs = BsCsr::encode::<F32>(&csr, layout);
+        let x = [0.5f32, 0.5, 0.5, 0.5];
+        let xs = quantize_vector::<F32>(&x);
+        let out = run_core::<F32>(&bs, &xs, 2, Fidelity::Reference);
+        // f32 arithmetic, exact per-step.
+        let want0 = 0.1f32 * 0.5 + 0.2 * 0.5;
+        let want1 = 0.3f32 * 0.5 + 0.4 * 0.5;
+        let got: std::collections::HashMap<u32, f64> = out
+            .topk
+            .iter()
+            .map(|&(r, a)| (r, F32::acc_to_f64(a)))
+            .collect();
+        assert_eq!(got[&0], want0 as f64);
+        assert_eq!(got[&1], want1 as f64);
+    }
+
+    #[test]
+    fn empty_rows_contribute_zero() {
+        let csr = Csr::from_triplets(5, 8, &[(0, 0, 0.5), (4, 7, 0.75)]).unwrap();
+        let bs = encode20(&csr);
+        let out = run_core::<Q1_19>(&bs, &ones(8), 5, Fidelity::Reference);
+        assert_eq!(out.stats.rows_finished, 5);
+        let best: Vec<u32> = out.topk.iter().map(|&(r, _)| r).collect();
+        assert_eq!(best[0], 4);
+        assert_eq!(best[1], 0);
+        // Placeholder rows have accumulator zero.
+        assert_eq!(Q1_19::acc_to_f64(out.topk[2].1), 0.0);
+    }
+
+    #[test]
+    fn faithful_r_limit_drops_excess_rows() {
+        // 15 single-entry rows finish in one packet; r = 4 keeps only the
+        // first 4 finishers.
+        let triplets: Vec<(u32, u32, f32)> =
+            (0..15).map(|r| (r, r, 0.1 + 0.01 * r as f32)).collect();
+        let csr = Csr::from_triplets(15, 1024, &triplets).unwrap();
+        let bs = encode20(&csr);
+        let out = run_core::<Q1_19>(
+            &bs,
+            &ones(1024),
+            8,
+            Fidelity::Faithful { rows_per_packet: 4 },
+        );
+        assert_eq!(out.stats.rows_finished, 4);
+        assert_eq!(out.stats.rows_dropped, 11);
+        // Only rows 0..4 were considered.
+        assert!(out.topk.iter().all(|&(r, _)| r < 4));
+    }
+
+    #[test]
+    fn faithful_with_generous_r_equals_reference() {
+        let csr = tkspmv_sparse::gen::SyntheticConfig {
+            num_rows: 500,
+            num_cols: 512,
+            avg_nnz_per_row: 20,
+            distribution: tkspmv_sparse::gen::NnzDistribution::table3_gamma(),
+            seed: 3,
+        }
+        .generate();
+        let bs = encode20(&csr);
+        let x = quantize_vector::<Q1_19>(tkspmv_sparse::gen::query_vector(512, 1).as_slice());
+        let faithful = run_core::<Q1_19>(
+            &bs,
+            &x,
+            8,
+            Fidelity::Faithful {
+                rows_per_packet: 15,
+            },
+        );
+        let reference = run_core::<Q1_19>(&bs, &x, 8, Fidelity::Reference);
+        assert_eq!(faithful.topk, reference.topk);
+        assert_eq!(faithful.stats.rows_dropped, 0);
+    }
+
+    #[test]
+    fn stats_count_packets_and_entries() {
+        let csr = tkspmv_sparse::gen::SyntheticConfig {
+            num_rows: 100,
+            num_cols: 512,
+            avg_nnz_per_row: 20,
+            distribution: tkspmv_sparse::gen::NnzDistribution::Uniform,
+            seed: 9,
+        }
+        .generate();
+        let bs = encode20(&csr);
+        let out = run_core::<Q1_19>(&bs, &ones(512), 8, Fidelity::Reference);
+        assert_eq!(out.stats.packets, bs.num_packets() as u64);
+        assert_eq!(out.stats.entries, bs.stored_entries());
+        assert_eq!(out.stats.rows_finished, 100);
+    }
+}

@@ -1,0 +1,16 @@
+//! The Top-K SpMV dataflow engine (Algorithm 1).
+//!
+//! [`run_core`] is a functional emulation of one FPGA core's four-stage
+//! pipeline over a BS-CSR packet stream; [`run_multicore`] executes `c`
+//! cores over a partitioned matrix and merges their per-partition Top-k
+//! lists (§III-A). Arithmetic is bit-exact with respect to the selected
+//! [`tkspmv_fixed::SpmvScalar`]; cycle counts come from the packet/burst
+//! model in [`tkspmv_hw`].
+
+mod core_model;
+mod multicore;
+mod trace;
+
+pub use core_model::{quantize_vector, run_core, CoreOutput, CoreStats, Fidelity};
+pub use multicore::{run_multicore, MulticoreOutput};
+pub use trace::{trace_core, PacketTrace};

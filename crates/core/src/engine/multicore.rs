@@ -1,0 +1,195 @@
+//! Multi-core execution: the §III-A partitioned approximation.
+
+use tkspmv_fixed::SpmvScalar;
+use tkspmv_sparse::BsCsr;
+
+use super::core_model::{run_core, CoreStats, Fidelity};
+use crate::topk::TopKResult;
+
+/// Output of a multi-core run: the merged approximate Top-K plus
+/// per-core statistics.
+#[derive(Debug, Clone)]
+pub struct MulticoreOutput {
+    /// Merged global Top-K (scores converted to `f64`).
+    pub topk: TopKResult,
+    /// Statistics of each core, in partition order.
+    pub core_stats: Vec<CoreStats>,
+    /// Packets streamed by the busiest core — the quantity that bounds
+    /// wall-clock time, since cores run in lock-step on independent
+    /// channels.
+    pub max_packets_per_core: u64,
+}
+
+/// Runs `c` independent cores, one per `(first_row, partition)` pair, and
+/// merges their local top-`k` lists into a global top-`big_k`.
+///
+/// Each core computes the exact top-`k` of its own partition; the merge
+/// keeps the best `big_k` of the `k·c` candidates. This is the paper's
+/// approximation: it is exact whenever no partition holds more than `k`
+/// of the true global Top-K (Figure 2).
+///
+/// Cores execute on OS threads to mirror their hardware independence
+/// (and to keep the emulator fast at 32 cores).
+///
+/// # Panics
+///
+/// Panics if `partitions` is empty, `k == 0`, or `k * partitions.len() <
+/// big_k` (the configuration could not possibly fill the requested K).
+pub fn run_multicore<S: SpmvScalar>(
+    partitions: &[(usize, BsCsr)],
+    x: &[S],
+    k: usize,
+    big_k: usize,
+    fidelity: Fidelity,
+) -> MulticoreOutput {
+    assert!(!partitions.is_empty(), "need at least one partition");
+    assert!(
+        k * partitions.len() >= big_k,
+        "k*c = {} cannot cover K = {big_k}",
+        k * partitions.len()
+    );
+
+    let outputs: Vec<(Vec<(u32, f64)>, CoreStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|(first_row, part)| {
+                scope.spawn(move || {
+                    let out = run_core::<S>(part, x, k, fidelity);
+                    let globalised: Vec<(u32, f64)> = out
+                        .topk
+                        .into_iter()
+                        .map(|(local, acc)| {
+                            (local + *first_row as u32, S::acc_to_f64(acc))
+                        })
+                        .collect();
+                    (globalised, out.stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("core thread panicked"))
+            .collect()
+    });
+
+    let core_stats: Vec<CoreStats> = outputs.iter().map(|(_, s)| *s).collect();
+    let max_packets_per_core = core_stats.iter().map(|s| s.packets).max().unwrap_or(0);
+    let merged = TopKResult::merge(
+        outputs
+            .into_iter()
+            .map(|(pairs, _)| TopKResult::from_pairs(pairs)),
+        big_k,
+    );
+    MulticoreOutput {
+        topk: merged,
+        core_stats,
+        max_packets_per_core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::core_model::quantize_vector;
+    use tkspmv_fixed::Q1_31;
+    use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+    use tkspmv_sparse::{Csr, PacketLayout};
+
+    fn encode_partitions(csr: &Csr, c: usize) -> Vec<(usize, BsCsr)> {
+        let layout = PacketLayout::solve(csr.num_cols(), 32).unwrap();
+        csr.partition_rows(c)
+            .into_iter()
+            .map(|(first, part)| (first, BsCsr::encode::<Q1_31>(&part, layout)))
+            .collect()
+    }
+
+    fn exact_topk(csr: &Csr, x: &[f32], k: usize) -> Vec<u32> {
+        let y = csr.spmv_exact(x);
+        let mut pairs: Vec<(u32, f64)> =
+            y.into_iter().enumerate().map(|(i, v)| (i as u32, v)).collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs.into_iter().map(|(i, _)| i).collect()
+    }
+
+    #[test]
+    fn multicore_recovers_global_topk_when_k_large_enough() {
+        let csr = SyntheticConfig {
+            num_rows: 800,
+            num_cols: 256,
+            avg_nnz_per_row: 16,
+            distribution: NnzDistribution::Uniform,
+            seed: 11,
+        }
+        .generate();
+        let x = query_vector(256, 5);
+        let xs = quantize_vector::<Q1_31>(x.as_slice());
+        let parts = encode_partitions(&csr, 8);
+        // k = K: approximation can only fail if >k of top-K land in one
+        // partition; with k = 10 = K that is impossible.
+        let out = run_multicore::<Q1_31>(&parts, &xs, 10, 10, Fidelity::Reference);
+        let exact = exact_topk(&csr, x.as_slice(), 10);
+        assert_eq!(out.topk.indices(), exact);
+    }
+
+    #[test]
+    fn row_indices_are_globalised() {
+        // Partition 2's local row 0 must come back with its global index.
+        let mut triplets = vec![(0u32, 0u32, 0.1f32)];
+        for r in 1..6u32 {
+            triplets.push((r, 0, 0.1 * (r + 1) as f32));
+        }
+        let csr = Csr::from_triplets(6, 4, &triplets).unwrap();
+        let x = [1.0f32, 0.0, 0.0, 0.0];
+        let xs = quantize_vector::<Q1_31>(&x);
+        let parts = encode_partitions(&csr, 3);
+        let out = run_multicore::<Q1_31>(&parts, &xs, 2, 3, Fidelity::Reference);
+        // Best rows are 5 (0.6), 4 (0.5), 3 (0.4).
+        assert_eq!(out.topk.indices(), vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn approximation_can_lose_values_when_partition_overflows() {
+        // All top values in partition 0; with k = 1 per core only one
+        // survives per partition.
+        let triplets: Vec<(u32, u32, f32)> = (0..8)
+            .map(|r| (r, 0, if r < 4 { 0.9 - 0.01 * r as f32 } else { 0.1 }))
+            .collect();
+        let csr = Csr::from_triplets(8, 2, &triplets).unwrap();
+        let xs = quantize_vector::<Q1_31>(&[1.0, 0.0]);
+        let parts = encode_partitions(&csr, 2); // rows 0-3 | rows 4-7
+        let out = run_multicore::<Q1_31>(&parts, &xs, 1, 2, Fidelity::Reference);
+        // Exact top-2 is {0, 1}, but partition 0 only returns row 0.
+        let got = out.topk.indices();
+        assert_eq!(got[0], 0);
+        assert_ne!(got[1], 1, "row 1 must have been lost to the approximation");
+    }
+
+    #[test]
+    fn per_core_stats_are_reported() {
+        let csr = SyntheticConfig {
+            num_rows: 100,
+            num_cols: 64,
+            avg_nnz_per_row: 8,
+            distribution: NnzDistribution::Uniform,
+            seed: 2,
+        }
+        .generate();
+        let xs = quantize_vector::<Q1_31>(query_vector(64, 1).as_slice());
+        let parts = encode_partitions(&csr, 4);
+        let out = run_multicore::<Q1_31>(&parts, &xs, 8, 8, Fidelity::Reference);
+        assert_eq!(out.core_stats.len(), 4);
+        let rows: u64 = out.core_stats.iter().map(|s| s.rows_finished).sum();
+        assert_eq!(rows, 100);
+        assert!(out.max_packets_per_core >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn insufficient_kc_is_rejected() {
+        let csr = Csr::from_triplets(4, 2, &[(0, 0, 0.5)]).unwrap();
+        let xs = quantize_vector::<Q1_31>(&[1.0, 0.0]);
+        let parts = encode_partitions(&csr, 2);
+        let _ = run_multicore::<Q1_31>(&parts, &xs, 1, 4, Fidelity::Reference);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-packet execution tracing — the emulator's waveform viewer.
+//!
+//! When bringing up RTL against a golden model, the first debugging tool
+//! is a packet-by-packet trace of the dataflow state: which rows closed,
+//! what was carried between packets, what the Top-K stage accepted.
+//! [`trace_core`] produces exactly that from the functional emulator, so
+//! a hardware implementation can be diffed cycle-for-cycle against it.
+
+use tkspmv_fixed::SpmvScalar;
+use tkspmv_sparse::BsCsr;
+
+use crate::topk::TopKTracker;
+
+/// What happened while processing one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketTrace {
+    /// Packet index in the stream.
+    pub packet: usize,
+    /// Real (non-padding) entries in the packet.
+    pub entries: usize,
+    /// Whether the packet started a new row.
+    pub new_row: bool,
+    /// Rows that terminated in this packet, as `(row, value_f64)`.
+    pub finished_rows: Vec<(u32, f64)>,
+    /// Partial sum carried *into* this packet (f64 view), if any.
+    pub carry_in: Option<f64>,
+    /// Partial sum carried *out* of this packet, if any.
+    pub carry_out: Option<f64>,
+    /// How many of the finished rows the Top-K stage accepted.
+    pub topk_accepted: u32,
+}
+
+/// Runs one core like [`crate::run_core`] but records a full
+/// [`PacketTrace`] per packet (reference fidelity, no `r` limit).
+///
+/// Intended for debugging and for differential testing against an RTL
+/// simulation; use `run_core` for performance work — tracing allocates
+/// per packet.
+///
+/// # Panics
+///
+/// Panics if `x` is shorter than the matrix's column count or `k == 0`.
+pub fn trace_core<S: SpmvScalar>(matrix: &BsCsr, x: &[S], k: usize) -> Vec<PacketTrace> {
+    assert!(
+        x.len() >= matrix.num_cols(),
+        "query vector has {} entries, matrix needs {}",
+        x.len(),
+        matrix.num_cols()
+    );
+    let mut tracker = TopKTracker::<S::Acc>::new(k);
+    let mut traces = Vec::with_capacity(matrix.num_packets());
+    let mut carry: S::Acc = S::acc_zero();
+    let mut carry_active = false;
+    let mut current_row: u32 = 0;
+
+    for p in 0..matrix.num_packets() {
+        let view = matrix.view(p);
+        let products: Vec<S::Acc> = view
+            .idx
+            .iter()
+            .zip(&view.val)
+            .map(|(&idx, &raw)| S::mul(S::decode(raw), x[idx as usize]))
+            .collect();
+
+        let carry_in = carry_active.then(|| S::acc_to_f64(carry));
+        let mut finished_rows = Vec::with_capacity(view.row_ends.len());
+        let mut accepted = 0u32;
+        let mut seg_start = 0usize;
+        for &end in &view.row_ends {
+            let end = end as usize;
+            let mut acc = if seg_start == 0 && !view.new_row {
+                carry
+            } else {
+                S::acc_zero()
+            };
+            for prod in &products[seg_start..end] {
+                acc = S::acc_add(acc, *prod);
+            }
+            finished_rows.push((current_row, S::acc_to_f64(acc)));
+            if tracker.insert(current_row, acc) {
+                accepted += 1;
+            }
+            current_row += 1;
+            seg_start = end;
+        }
+        let carry_out = if seg_start < products.len() {
+            let mut acc = if seg_start == 0 && !view.new_row {
+                carry
+            } else {
+                S::acc_zero()
+            };
+            for prod in &products[seg_start..] {
+                acc = S::acc_add(acc, *prod);
+            }
+            carry = acc;
+            carry_active = true;
+            Some(S::acc_to_f64(acc))
+        } else {
+            carry = S::acc_zero();
+            carry_active = false;
+            None
+        };
+
+        traces.push(PacketTrace {
+            packet: p,
+            entries: view.len(),
+            new_row: view.new_row,
+            finished_rows,
+            carry_in,
+            carry_out,
+            topk_accepted: accepted,
+        });
+    }
+    traces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::core_model::{quantize_vector, run_core, Fidelity};
+    use tkspmv_fixed::Q1_31;
+    use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+    use tkspmv_sparse::{Csr, PacketLayout};
+
+    fn setup() -> (BsCsr, Vec<Q1_31>) {
+        let csr = SyntheticConfig {
+            num_rows: 200,
+            num_cols: 256,
+            avg_nnz_per_row: 12,
+            distribution: NnzDistribution::table3_gamma(),
+            seed: 15,
+        }
+        .generate();
+        let bs = BsCsr::encode::<Q1_31>(&csr, PacketLayout::solve(256, 32).unwrap());
+        let x = quantize_vector::<Q1_31>(query_vector(256, 2).as_slice());
+        (bs, x)
+    }
+
+    #[test]
+    fn trace_covers_every_packet_and_row() {
+        let (bs, x) = setup();
+        let traces = trace_core::<Q1_31>(&bs, &x, 8);
+        assert_eq!(traces.len(), bs.num_packets());
+        let rows: u64 = traces.iter().map(|t| t.finished_rows.len() as u64).sum();
+        assert_eq!(rows, bs.num_rows() as u64);
+        let entries: u64 = traces.iter().map(|t| t.entries as u64).sum();
+        assert_eq!(entries, bs.stored_entries());
+    }
+
+    #[test]
+    fn carries_chain_between_packets() {
+        let (bs, x) = setup();
+        let traces = trace_core::<Q1_31>(&bs, &x, 8);
+        for w in traces.windows(2) {
+            // A packet's carry_out implies the next one continues a row.
+            assert_eq!(w[1].carry_in.is_some(), w[0].carry_out.is_some());
+            assert_eq!(w[1].new_row, w[0].carry_out.is_none());
+            if let (Some(out), Some(inn)) = (w[0].carry_out, w[1].carry_in) {
+                assert_eq!(out, inn);
+            }
+        }
+        assert!(traces[0].new_row);
+        assert!(traces.last().unwrap().carry_out.is_none());
+    }
+
+    #[test]
+    fn trace_agrees_with_run_core() {
+        let (bs, x) = setup();
+        let traces = trace_core::<Q1_31>(&bs, &x, 8);
+        let out = run_core::<Q1_31>(&bs, &x, 8, Fidelity::Reference);
+        let accepted: u64 = traces.iter().map(|t| t.topk_accepted as u64).sum();
+        assert_eq!(accepted, out.stats.topk_accepted);
+        // Row values in the trace match the engine's top-k values.
+        let all_rows: std::collections::HashMap<u32, f64> = traces
+            .iter()
+            .flat_map(|t| t.finished_rows.iter().copied())
+            .collect();
+        for &(row, acc) in &out.topk {
+            assert_eq!(all_rows[&row], Q1_31::acc_to_f64(acc));
+        }
+    }
+
+    #[test]
+    fn single_long_row_traces_as_carry_chain() {
+        let triplets: Vec<(u32, u32, f32)> = (0..40).map(|c| (0, c, 0.02)).collect();
+        let csr = Csr::from_triplets(1, 256, &triplets).unwrap();
+        let bs = BsCsr::encode::<Q1_31>(&csr, PacketLayout::solve(256, 32).unwrap());
+        let x = quantize_vector::<Q1_31>(&vec![1.0f32; 256]);
+        let traces = trace_core::<Q1_31>(&bs, &x, 1);
+        // Carry grows monotonically until the row closes in the last packet.
+        let carries: Vec<f64> = traces.iter().filter_map(|t| t.carry_out).collect();
+        assert_eq!(carries.len(), traces.len() - 1);
+        assert!(carries.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(traces.last().unwrap().finished_rows.len(), 1);
+    }
+}

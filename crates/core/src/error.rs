@@ -1,0 +1,81 @@
+//! Error type of the accelerator API.
+
+use core::fmt;
+
+use tkspmv_sparse::SparseError;
+
+/// Error raised by accelerator configuration or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The configuration is invalid (bad core count, k, etc.).
+    InvalidConfig {
+        /// Explanation of the defect.
+        detail: String,
+    },
+    /// The matrix/format combination is not encodable.
+    Format(SparseError),
+    /// The design does not fit the device (resources or URAM).
+    Infeasible {
+        /// Explanation of which resource binds.
+        detail: String,
+    },
+    /// Query arguments are inconsistent with the loaded matrix.
+    BadQuery {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig { detail } => {
+                write!(f, "invalid accelerator configuration: {detail}")
+            }
+            EngineError::Format(e) => write!(f, "matrix encoding failed: {e}"),
+            EngineError::Infeasible { detail } => {
+                write!(f, "design does not fit the device: {detail}")
+            }
+            EngineError::BadQuery { detail } => write!(f, "bad query: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for EngineError {
+    fn from(e: SparseError) -> Self {
+        EngineError::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = EngineError::from(SparseError::DuplicateEntry { row: 1, col: 2 });
+        assert!(e.to_string().contains("encoding failed"));
+        assert!(e.source().is_some());
+        let e = EngineError::BadQuery {
+            detail: "K too large".into(),
+        };
+        assert!(e.to_string().contains("K too large"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<EngineError>();
+    }
+}

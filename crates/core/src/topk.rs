@@ -1,0 +1,280 @@
+//! The Top-K scratchpad: the hardware argmin structure of stage 4.
+//!
+//! Each core keeps its current best `k` rows in a LUT scratchpad instead
+//! of writing the full output vector to HBM. A candidate `(row, value)`
+//! replaces the scratchpad's current minimum when its value is at least
+//! as large (Algorithm 1, line 27: `res_agg[j] >= worst_curr[j]`). The
+//! argmin scan over `k` registers is what creates the RAW dependency that
+//! caps `k` at small values (§IV-B).
+
+/// Fixed-capacity tracker of the `k` largest `(index, value)` pairs seen.
+///
+/// Mirrors the RTL scratchpad: `k` slots with valid bits, candidate
+/// insertion by argmin replacement. Generic over the accumulator type so
+/// fixed-point cores compare raw accumulators exactly as the hardware
+/// comparator does.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv::TopKTracker;
+///
+/// let mut t = TopKTracker::new(2);
+/// t.insert(10, 0.5);
+/// t.insert(11, 0.9);
+/// t.insert(12, 0.7); // evicts 0.5
+/// let result = t.into_sorted();
+/// assert_eq!(result, vec![(11, 0.9), (12, 0.7)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopKTracker<A> {
+    slots: Vec<Option<(u32, A)>>,
+    /// Number of candidates offered (for occupancy statistics).
+    offered: u64,
+    /// Number of candidates accepted into the scratchpad.
+    accepted: u64,
+}
+
+impl<A: PartialOrd + Copy> TopKTracker<A> {
+    /// Creates a tracker with `k` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k tracker needs at least one slot");
+        Self {
+            slots: vec![None; k],
+            offered: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Capacity `k`.
+    pub fn k(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of filled slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no candidate has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Offers a candidate; returns `true` if it was accepted.
+    ///
+    /// Empty slots are filled first; otherwise the candidate replaces the
+    /// current minimum if its value is `>=` (the hardware comparison).
+    pub fn insert(&mut self, index: u32, value: A) -> bool {
+        self.offered += 1;
+        // Fill an empty slot if one exists.
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
+            *slot = Some((index, value));
+            self.accepted += 1;
+            return true;
+        }
+        // Argmin scan over the k registers.
+        let (argmin, &min) = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.as_ref().expect("all slots filled")))
+            .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("comparable values"))
+            .expect("k > 0");
+        if value >= min.1 {
+            self.slots[argmin] = Some((index, value));
+            self.accepted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current worst (minimum) tracked value, if the tracker is full.
+    pub fn current_min(&self) -> Option<A> {
+        if self.slots.iter().any(|s| s.is_none()) {
+            return None;
+        }
+        self.slots
+            .iter()
+            .map(|s| s.expect("checked").1)
+            .min_by(|a, b| a.partial_cmp(b).expect("comparable values"))
+    }
+
+    /// Candidates offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Candidates accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Extracts the tracked pairs sorted by value descending (ties by
+    /// index ascending, for deterministic output).
+    pub fn into_sorted(self) -> Vec<(u32, A)> {
+        let mut out: Vec<(u32, A)> = self.slots.into_iter().flatten().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("comparable values")
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+/// A ranked Top-K answer: row indices with their similarity scores,
+/// sorted by score descending.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv::TopKResult;
+///
+/// let r = TopKResult::from_pairs(vec![(3, 0.2), (7, 0.9)]);
+/// assert_eq!(r.indices(), &[7, 3]);
+/// assert_eq!(r.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    entries: Vec<(u32, f64)>,
+}
+
+impl TopKResult {
+    /// Builds a result from unsorted `(row, score)` pairs.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Self { entries: pairs }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ranked `(row, score)` pairs, best first.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Ranked row indices, best first.
+    pub fn indices(&self) -> Vec<u32> {
+        self.entries.iter().map(|&(i, _)| i).collect()
+    }
+
+    /// Ranked scores, best first.
+    pub fn scores(&self) -> Vec<f64> {
+        self.entries.iter().map(|&(_, s)| s).collect()
+    }
+
+    /// Keeps only the best `k` entries.
+    pub fn truncated(mut self, k: usize) -> Self {
+        self.entries.truncate(k);
+        self
+    }
+
+    /// Merges several partial results (e.g. per-core Top-k lists) and
+    /// keeps the global best `k` — the §III-A reduction step.
+    pub fn merge<I: IntoIterator<Item = TopKResult>>(parts: I, k: usize) -> Self {
+        let pairs: Vec<(u32, f64)> = parts
+            .into_iter()
+            .flat_map(|p| p.entries.into_iter())
+            .collect();
+        Self::from_pairs(pairs).truncated(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_empty_slots_first() {
+        let mut t = TopKTracker::new(3);
+        assert!(t.is_empty());
+        assert!(t.insert(1, 0.3));
+        assert!(t.insert(2, 0.1));
+        assert!(t.insert(3, 0.2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.current_min(), Some(0.1));
+    }
+
+    #[test]
+    fn replaces_argmin_when_full() {
+        let mut t = TopKTracker::new(2);
+        t.insert(1, 0.5);
+        t.insert(2, 0.8);
+        assert!(t.insert(3, 0.6)); // replaces 0.5
+        assert!(!t.insert(4, 0.1)); // rejected
+        assert_eq!(t.into_sorted(), vec![(2, 0.8), (3, 0.6)]);
+    }
+
+    #[test]
+    fn equal_value_replaces_like_hardware() {
+        // Algorithm 1 uses >=: a tie evicts the current min.
+        let mut t = TopKTracker::new(1);
+        t.insert(1, 0.5);
+        assert!(t.insert(2, 0.5));
+        assert_eq!(t.into_sorted(), vec![(2, 0.5)]);
+    }
+
+    #[test]
+    fn tracks_offer_statistics() {
+        let mut t = TopKTracker::new(1);
+        t.insert(1, 0.5);
+        t.insert(2, 0.1);
+        t.insert(3, 0.9);
+        assert_eq!(t.offered(), 3);
+        assert_eq!(t.accepted(), 2);
+    }
+
+    #[test]
+    fn sorted_output_is_descending_with_index_ties() {
+        let mut t = TopKTracker::new(4);
+        for (i, v) in [(5u32, 0.5), (1, 0.5), (9, 0.9), (2, 0.1)] {
+            t.insert(i, v);
+        }
+        assert_eq!(t.into_sorted(), vec![(9, 0.9), (1, 0.5), (5, 0.5), (2, 0.1)]);
+    }
+
+    #[test]
+    fn works_with_integer_accumulators() {
+        // Fixed-point cores compare raw u64 accumulators.
+        let mut t = TopKTracker::<u64>::new(2);
+        t.insert(1, 100);
+        t.insert(2, 300);
+        t.insert(3, 200);
+        assert_eq!(t.into_sorted(), vec![(2, 300), (3, 200)]);
+    }
+
+    #[test]
+    fn result_merge_keeps_global_best() {
+        let a = TopKResult::from_pairs(vec![(0, 0.9), (1, 0.5)]);
+        let b = TopKResult::from_pairs(vec![(10, 0.7), (11, 0.6)]);
+        let merged = TopKResult::merge([a, b], 3);
+        assert_eq!(merged.indices(), vec![0, 10, 11]);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn result_ordering_is_deterministic_on_ties() {
+        let r = TopKResult::from_pairs(vec![(7, 0.5), (3, 0.5), (5, 0.5)]);
+        assert_eq!(r.indices(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_k_rejected() {
+        let _ = TopKTracker::<f64>::new(0);
+    }
+}

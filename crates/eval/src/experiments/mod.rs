@@ -1,0 +1,15 @@
+//! Experiment drivers, one per paper artifact.
+//!
+//! Every driver exposes a `run(...)` returning structured result rows
+//! and a `to_table(...)` rendering them in the paper's layout. The
+//! `tkspmv-bench` binaries are thin wrappers over these.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod datasets_table;
+pub mod packing;
+pub mod power;
+pub mod precision_table;
+pub mod resources_table;
+pub mod roofline;
+pub mod speedup;

@@ -1,0 +1,106 @@
+//! Figure 3: packing density of naive COO vs optimised COO vs BS-CSR.
+
+use tkspmv_sparse::{CooPacketKind, PacketLayout};
+
+use crate::report::{fnum, Table};
+
+/// Packing characteristics of one format in a 512-bit packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingRow {
+    /// Format name.
+    pub format: &'static str,
+    /// Non-zeros per packet.
+    pub entries_per_packet: u32,
+    /// Bits used of the 512.
+    pub bits_used: u32,
+    /// Operational intensity, nnz/byte.
+    pub operational_intensity: f64,
+    /// Gain over naive COO.
+    pub gain_vs_naive: f64,
+}
+
+/// Reproduces Figure 3's comparison for `M < 1024`, 20-bit values.
+pub fn run() -> Vec<PackingRow> {
+    let naive = CooPacketKind::Naive;
+    let optimized = CooPacketKind::Optimized {
+        idx_bits: 10,
+        value_bits: 20,
+    };
+    let bscsr = PacketLayout::solve(1024, 20).expect("paper layout fits");
+    let base = naive.entries_per_packet() as f64;
+    vec![
+        PackingRow {
+            format: "Naive COO",
+            entries_per_packet: naive.entries_per_packet(),
+            bits_used: naive.entries_per_packet() * naive.entry_bits(),
+            operational_intensity: naive.operational_intensity(),
+            gain_vs_naive: 1.0,
+        },
+        PackingRow {
+            format: "Optimized COO",
+            entries_per_packet: optimized.entries_per_packet(),
+            bits_used: optimized.entries_per_packet() * optimized.entry_bits(),
+            operational_intensity: optimized.operational_intensity(),
+            gain_vs_naive: optimized.entries_per_packet() as f64 / base,
+        },
+        PackingRow {
+            format: "BS-CSR",
+            entries_per_packet: bscsr.entries_per_packet(),
+            bits_used: bscsr.bits_used(),
+            operational_intensity: bscsr.operational_intensity(),
+            gain_vs_naive: bscsr.entries_per_packet() as f64 / base,
+        },
+    ]
+}
+
+/// Renders the Figure 3 comparison.
+pub fn to_table(rows: &[PackingRow]) -> Table {
+    let mut t = Table::new(vec![
+        "Format",
+        "Non-zeros / 512b packet",
+        "Bits used",
+        "OI (nnz/byte)",
+        "Gain vs naive COO",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.format.to_string(),
+            r.entries_per_packet.to_string(),
+            r.bits_used.to_string(),
+            fnum(r.operational_intensity, 3),
+            format!("{:.1}x", r.gain_vs_naive),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_numbers() {
+        let rows = run();
+        // 5 / 8 / 15 entries; 480 / 496 / 511 bits.
+        assert_eq!(rows[0].entries_per_packet, 5);
+        assert_eq!(rows[0].bits_used, 480);
+        assert_eq!(rows[1].entries_per_packet, 8);
+        assert_eq!(rows[1].bits_used, 496);
+        assert_eq!(rows[2].entries_per_packet, 15);
+        assert_eq!(rows[2].bits_used, 511);
+    }
+
+    #[test]
+    fn bscsr_gains_3x() {
+        let rows = run();
+        assert!((rows[2].gain_vs_naive - 3.0).abs() < 1e-12);
+        assert!(rows[1].gain_vs_naive < rows[2].gain_vs_naive);
+    }
+
+    #[test]
+    fn renders() {
+        let t = to_table(&run());
+        assert_eq!(t.len(), 3);
+        assert!(t.to_markdown().contains("BS-CSR"));
+    }
+}

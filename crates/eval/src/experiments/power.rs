@@ -1,0 +1,191 @@
+//! §V-B: power efficiency — performance per watt of CPU, GPU and the
+//! FPGA designs.
+//!
+//! The paper measures 35 W for the FPGA board (+40 W host), ~300 W for
+//! the dual-Xeon CPU, 250 W (+40 W host) for the GPU, and reports a
+//! 400× performance/W advantage over the CPU and 14.2× over the
+//! idealised GPU (7.7× when both sides carry an equal host). We use the
+//! paper's device power figures (a wall-meter cannot be reproduced in
+//! software) combined with the measured/modelled throughputs of the
+//! Figure 5 experiment.
+
+use tkspmv_fixed::Precision;
+use tkspmv_hw::{DesignPoint, ResourceModel};
+
+use crate::experiments::speedup::{self, SpeedupRow};
+use crate::report::{fnum, Table};
+use crate::ExpConfig;
+
+/// Device power assumptions, in watts (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerAssumptions {
+    /// CPU package power under load.
+    pub cpu_w: f64,
+    /// GPU board power under load.
+    pub gpu_w: f64,
+    /// Host server overhead (added to FPGA and GPU when comparing
+    /// system-level efficiency).
+    pub host_w: f64,
+}
+
+impl Default for PowerAssumptions {
+    fn default() -> Self {
+        Self {
+            cpu_w: 300.0,
+            gpu_w: 250.0,
+            host_w: 40.0,
+        }
+    }
+}
+
+/// Performance/W of one architecture on one dataset group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerRow {
+    /// Architecture label.
+    pub arch: String,
+    /// Throughput in GNNZ/s.
+    pub gnnz_per_sec: f64,
+    /// Device power, W.
+    pub device_w: f64,
+    /// Device-level performance per watt, MNNZ/s/W.
+    pub mnnz_per_watt: f64,
+    /// Ratio vs the idealised GPU (device-level).
+    pub vs_gpu: f64,
+}
+
+/// Derives the §V-B comparison from a Figure 5 speedup row.
+pub fn run_from_speedup(row: &SpeedupRow, assumptions: PowerAssumptions) -> Vec<PowerRow> {
+    let model = ResourceModel::alveo_u280();
+    let nnz = row.nnz as f64;
+    // Throughputs implied by the shared CPU baseline time.
+    let thr = |speedup: f64| nnz / (row.cpu_seconds / speedup) / 1e9;
+    let mut rows = vec![
+        ("CPU (2x Xeon 6248)".to_string(), thr(1.0), assumptions.cpu_w),
+        (
+            "GPU F32, zero-cost sort".to_string(),
+            thr(row.gpu_f32_spmv_only),
+            assumptions.gpu_w,
+        ),
+        (
+            "GPU F32, with sort".to_string(),
+            thr(row.gpu_f32_topk),
+            assumptions.gpu_w,
+        ),
+    ];
+    for (i, precision) in Precision::FPGA_DESIGNS.iter().enumerate() {
+        let d = DesignPoint::paper_design(*precision);
+        rows.push((
+            format!("FPGA {}", precision.label()),
+            thr(row.fpga[i]),
+            model.power_w(&d),
+        ));
+    }
+    let gpu_ppw = rows[1].1 * 1e3 / rows[1].2; // MNNZ/s per W
+    rows.into_iter()
+        .map(|(arch, gnnz, device_w)| {
+            let ppw = gnnz * 1e3 / device_w;
+            PowerRow {
+                arch,
+                gnnz_per_sec: gnnz,
+                device_w,
+                mnnz_per_watt: ppw,
+                vs_gpu: ppw / gpu_ppw,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full §V-B experiment on the `N = 10^7` panel.
+pub fn run(config: &ExpConfig) -> Vec<PowerRow> {
+    let speedups = speedup::run(config);
+    run_from_speedup(&speedups[1], PowerAssumptions::default())
+}
+
+/// Renders the power-efficiency table.
+pub fn to_table(rows: &[PowerRow]) -> Table {
+    let mut t = Table::new(vec![
+        "Architecture",
+        "Throughput (GNNZ/s)",
+        "Device power (W)",
+        "MNNZ/s per W",
+        "vs idealised GPU",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.arch.clone(),
+            fnum(r.gnnz_per_sec, 2),
+            fnum(r.device_w, 0),
+            fnum(r.mnnz_per_watt, 1),
+            format!("{:.1}x", r.vs_gpu),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetGroup;
+
+    fn synthetic_row() -> SpeedupRow {
+        // A hand-built row with the paper's N = 10^7 panel speedups so
+        // the power math is tested independently of host CPU speed.
+        SpeedupRow {
+            group: DatasetGroup::Synthetic1e7,
+            rows: 10_000_000,
+            nnz: 300_000_000,
+            cpu_seconds: 0.509,
+            gpu_f32_spmv_only: 51.0,
+            gpu_f32_topk: 15.0,
+            gpu_f16_spmv_only: 58.0,
+            gpu_f16_topk: 16.0,
+            fpga: [106.0, 88.0, 89.0, 43.0],
+        }
+    }
+
+    #[test]
+    fn fpga_beats_gpu_by_order_of_magnitude_per_watt() {
+        // Paper: 14.2x higher performance/W than the idealised GPU.
+        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default());
+        let fpga20 = rows.iter().find(|r| r.arch == "FPGA 20b").unwrap();
+        assert!(
+            (10.0..20.0).contains(&fpga20.vs_gpu),
+            "FPGA/GPU perf/W = {:.1} (paper: 14.2x)",
+            fpga20.vs_gpu
+        );
+    }
+
+    #[test]
+    fn fpga_beats_cpu_by_hundreds_per_watt() {
+        // Paper: 400x higher performance/W than the CPU.
+        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default());
+        let cpu = rows.iter().find(|r| r.arch.starts_with("CPU")).unwrap();
+        let fpga20 = rows.iter().find(|r| r.arch == "FPGA 20b").unwrap();
+        let ratio = fpga20.mnnz_per_watt / cpu.mnnz_per_watt;
+        assert!((300.0..1200.0).contains(&ratio), "FPGA/CPU perf/W = {ratio:.0}");
+    }
+
+    #[test]
+    fn fixed_point_designs_are_most_efficient() {
+        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default());
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.arch == name)
+                .unwrap()
+                .mnnz_per_watt
+        };
+        assert!(get("FPGA 20b") > get("FPGA F32"));
+        assert!(get("FPGA 20b") > get("GPU F32, zero-cost sort"));
+    }
+
+    #[test]
+    fn end_to_end_run_produces_all_rows() {
+        let rows = run(&ExpConfig::smoke_test());
+        assert_eq!(rows.len(), 7);
+        assert!(!to_table(&rows).is_empty());
+        // Device powers come from the model, in Table II's range.
+        for r in rows.iter().filter(|r| r.arch.starts_with("FPGA")) {
+            assert!((30.0..50.0).contains(&r.device_w), "{}: {}", r.arch, r.device_w);
+        }
+    }
+}

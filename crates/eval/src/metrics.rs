@@ -1,0 +1,292 @@
+//! Ranking quality metrics (§V-D): Precision, Kendall's τ, NDCG.
+
+use std::collections::HashMap;
+
+/// Precision@K: fraction of the true Top-K present in the retrieved
+/// list, irrespective of order.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_eval::metrics::precision_at_k;
+///
+/// let p = precision_at_k(&[1, 2, 3, 9], &[1, 2, 3, 4]);
+/// assert_eq!(p, 0.75);
+/// ```
+pub fn precision_at_k(retrieved: &[u32], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    // Set semantics on both sides: a Top-K list has no duplicates, but
+    // the metric stays total (and bounded) for any input.
+    let truth_set: std::collections::HashSet<u32> = truth.iter().copied().collect();
+    let retrieved_set: std::collections::HashSet<u32> = retrieved.iter().copied().collect();
+    let hits = retrieved_set.intersection(&truth_set).count();
+    hits as f64 / truth_set.len() as f64
+}
+
+/// Kendall's τ between the retrieved ordering and the true ordering,
+/// computed over the items common to both lists.
+///
+/// Returns a value in `[-1, 1]`; 1 means the relative order of every
+/// common pair agrees. Lists sharing fewer than two items score 1
+/// (no pair can disagree). Out-of-order retrieval is penalised even when
+/// Precision is perfect, which is exactly why the paper reports it.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_eval::metrics::kendall_tau;
+///
+/// assert_eq!(kendall_tau(&[1, 2, 3], &[1, 2, 3]), 1.0);
+/// assert_eq!(kendall_tau(&[3, 2, 1], &[1, 2, 3]), -1.0);
+/// ```
+pub fn kendall_tau(retrieved: &[u32], truth: &[u32]) -> f64 {
+    // First occurrence defines an item's rank on both sides.
+    let mut truth_rank: HashMap<u32, usize> = HashMap::new();
+    for (r, &i) in truth.iter().enumerate() {
+        truth_rank.entry(i).or_insert(r);
+    }
+    // Ranks (in truth order) of the common items, in retrieved order.
+    let mut seen = std::collections::HashSet::new();
+    let common: Vec<usize> = retrieved
+        .iter()
+        .filter(|&&i| seen.insert(i))
+        .filter_map(|i| truth_rank.get(i).copied())
+        .collect();
+    let n = common.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // All ranks are distinct, so tau = 1 - 2 * inversions / C(n, 2),
+    // with inversions counted in O(n log n) by merge sort.
+    let total_pairs = (n * (n - 1) / 2) as f64;
+    let discordant = count_inversions(&mut common.clone(), &mut vec![0; n]) as f64;
+    1.0 - 2.0 * discordant / total_pairs
+}
+
+/// Counts inversions (pairs `i < j` with `v[i] > v[j]`) by merge sort.
+fn count_inversions(v: &mut [usize], scratch: &mut [usize]) -> u64 {
+    let n = v.len();
+    if n < 2 {
+        return 0;
+    }
+    let mid = n / 2;
+    let mut inv = {
+        let (lo, hi) = v.split_at_mut(mid);
+        count_inversions(lo, scratch) + count_inversions(hi, scratch)
+    };
+    // Merge, counting cross inversions.
+    let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+    while i < mid && j < n {
+        if v[i] <= v[j] {
+            scratch[k] = v[i];
+            i += 1;
+        } else {
+            // v[i..mid] are all greater than v[j].
+            inv += (mid - i) as u64;
+            scratch[k] = v[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    scratch[k..k + (mid - i)].copy_from_slice(&v[i..mid]);
+    let k = k + (mid - i);
+    scratch[k..k + (n - j)].copy_from_slice(&v[j..n]);
+    v.copy_from_slice(&scratch[..n]);
+    inv
+}
+
+/// NDCG@K with graded relevance: the relevance of a retrieved item is
+/// its true similarity score (0 for items outside the true Top-K), with
+/// the standard `1 / log2(rank + 2)` discount; normalised by the ideal
+/// ordering's DCG.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_eval::metrics::ndcg;
+///
+/// let truth = [(7u32, 1.0), (3, 0.5)];
+/// assert!((ndcg(&[7, 3], &truth) - 1.0).abs() < 1e-12);
+/// assert!(ndcg(&[3, 7], &truth) < 1.0);
+/// ```
+pub fn ndcg(retrieved: &[u32], truth: &[(u32, f64)]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut gain: HashMap<u32, f64> = HashMap::new();
+    for &(i, g) in truth {
+        gain.entry(i).or_insert(g);
+    }
+    // Each truth item's gain is consumed at most once, so DCG cannot
+    // exceed IDCG even for degenerate retrieved lists with duplicates.
+    let mut remaining = gain.clone();
+    let dcg: f64 = retrieved
+        .iter()
+        .enumerate()
+        .map(|(rank, i)| {
+            remaining.remove(i).unwrap_or(0.0) / ((rank as f64) + 2.0).log2()
+        })
+        .sum();
+    // Ideal DCG: truth sorted by score descending (it already is if it
+    // comes from an oracle, but do not rely on it).
+    let mut ideal: Vec<f64> = gain.values().copied().collect();
+    ideal.sort_by(|a, b| b.total_cmp(a));
+    let idcg: f64 = ideal
+        .iter()
+        .enumerate()
+        .map(|(rank, s)| s / ((rank as f64) + 2.0).log2())
+        .sum();
+    if idcg == 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// All three §V-D metrics for one retrieved list against the oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingQuality {
+    /// Precision@K.
+    pub precision: f64,
+    /// Kendall's τ.
+    pub kendall_tau: f64,
+    /// NDCG@K.
+    pub ndcg: f64,
+}
+
+impl RankingQuality {
+    /// Scores `retrieved` against the oracle's `(index, score)` ranking.
+    pub fn score(retrieved: &[u32], truth: &[(u32, f64)]) -> Self {
+        let truth_idx: Vec<u32> = truth.iter().map(|&(i, _)| i).collect();
+        Self {
+            precision: precision_at_k(retrieved, &truth_idx),
+            kendall_tau: kendall_tau(retrieved, &truth_idx),
+            ndcg: ndcg(retrieved, truth),
+        }
+    }
+
+    /// Element-wise mean of several measurements.
+    pub fn mean(items: &[RankingQuality]) -> Self {
+        let n = items.len().max(1) as f64;
+        Self {
+            precision: items.iter().map(|q| q.precision).sum::<f64>() / n,
+            kendall_tau: items.iter().map(|q| q.kendall_tau).sum::<f64>() / n,
+            ndcg: items.iter().map(|q| q.ndcg).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_counts_set_overlap() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(precision_at_k(&[3, 2, 1], &[1, 2, 3]), 1.0);
+        assert_eq!(precision_at_k(&[4, 5, 6], &[1, 2, 3]), 0.0);
+        assert_eq!(precision_at_k(&[], &[1, 2]), 0.0);
+        assert_eq!(precision_at_k(&[1], &[]), 1.0);
+    }
+
+    #[test]
+    fn kendall_counts_pair_inversions() {
+        // One swap in 4 items: 5 concordant, 1 discordant -> 4/6.
+        let tau = kendall_tau(&[0, 2, 1, 3], &[0, 1, 2, 3]);
+        assert!((tau - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    /// Reference O(n^2) tau for differential testing.
+    fn kendall_reference(common: &[usize]) -> f64 {
+        let n = common.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut conc = 0i64;
+        let mut disc = 0i64;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if common[a] < common[b] {
+                    conc += 1;
+                } else {
+                    disc += 1;
+                }
+            }
+        }
+        (conc - disc) as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    #[test]
+    fn merge_sort_tau_matches_quadratic_reference() {
+        // Deterministic pseudo-random permutations of various sizes.
+        let mut state = 7u64;
+        for n in [2usize, 3, 5, 17, 64, 257] {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                perm.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            let truth: Vec<u32> = (0..n as u32).collect();
+            let fast = kendall_tau(&perm, &truth);
+            let slow = kendall_reference(&perm.iter().map(|&x| x as usize).collect::<Vec<_>>());
+            assert!((fast - slow).abs() < 1e-12, "n = {n}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn kendall_ignores_missing_items() {
+        // Items 9, 8 are not in truth: order of {1, 2} still perfect.
+        assert_eq!(kendall_tau(&[9, 1, 8, 2], &[1, 2, 3]), 1.0);
+        // Fewer than 2 common items.
+        assert_eq!(kendall_tau(&[9, 1], &[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn ndcg_penalises_low_placement_of_high_gain() {
+        let truth = [(0u32, 1.0), (1, 0.9), (2, 0.1)];
+        let perfect = ndcg(&[0, 1, 2], &truth);
+        let swapped = ndcg(&[2, 1, 0], &truth);
+        assert!((perfect - 1.0).abs() < 1e-12);
+        assert!(swapped < perfect);
+        // Missing the top item is worse than misordering it.
+        let missing = ndcg(&[1, 2, 9], &truth);
+        assert!(missing < ndcg(&[2, 1, 0], &truth) + 1e-12);
+    }
+
+    #[test]
+    fn ndcg_unordered_truth_is_normalised_correctly() {
+        let truth = [(1u32, 0.5), (0, 1.0)]; // not sorted by score
+        assert!((ndcg(&[0, 1], &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_mean_averages_components() {
+        let a = RankingQuality {
+            precision: 1.0,
+            kendall_tau: 0.5,
+            ndcg: 0.8,
+        };
+        let b = RankingQuality {
+            precision: 0.5,
+            kendall_tau: 1.0,
+            ndcg: 0.6,
+        };
+        let m = RankingQuality::mean(&[a, b]);
+        assert_eq!(m.precision, 0.75);
+        assert_eq!(m.kendall_tau, 0.75);
+        assert!((m.ndcg - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_combines_all_metrics() {
+        let truth = [(0u32, 1.0), (1, 0.5)];
+        let q = RankingQuality::score(&[0, 1], &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.kendall_tau, 1.0);
+        assert!((q.ndcg - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Runtime tags for the numeric configurations evaluated in the paper.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::QFormat;
+
+/// The numeric configurations evaluated in the paper (Table II + the GPU
+/// half-precision baseline).
+///
+/// The three fixed-point variants are unsigned `Q1.f` formats; `Float32`
+/// is the IEEE binary32 FPGA design; `Half16` is the GPU `F16` baseline
+/// mode (not an FPGA design, but scored in Figure 7).
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_fixed::Precision;
+///
+/// let p: Precision = "20b".parse()?;
+/// assert_eq!(p, Precision::Fixed20);
+/// assert_eq!(p.value_bits(), 20);
+/// assert!(p.is_fixed_point());
+/// # Ok::<(), tkspmv_fixed::ParsePrecisionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// Unsigned `Q1.19` fixed point, 20 bits per value.
+    Fixed20,
+    /// Unsigned `Q1.24` fixed point, 25 bits per value.
+    Fixed25,
+    /// Unsigned `Q1.31` fixed point, 32 bits per value.
+    Fixed32,
+    /// IEEE binary32 floating point, 32 bits per value.
+    Float32,
+    /// IEEE binary16 floating point, 16 bits per value (GPU baseline).
+    Half16,
+}
+
+impl Precision {
+    /// All FPGA design points, in the order of Table II.
+    pub const FPGA_DESIGNS: [Precision; 4] = [
+        Precision::Fixed20,
+        Precision::Fixed25,
+        Precision::Fixed32,
+        Precision::Float32,
+    ];
+
+    /// Number of bits a matrix value occupies in a BS-CSR packet
+    /// (the `V` of §IV-C).
+    pub fn value_bits(self) -> u32 {
+        match self {
+            Precision::Fixed20 => 20,
+            Precision::Fixed25 => 25,
+            Precision::Fixed32 | Precision::Float32 => 32,
+            Precision::Half16 => 16,
+        }
+    }
+
+    /// Whether this is one of the fixed-point designs.
+    pub fn is_fixed_point(self) -> bool {
+        matches!(
+            self,
+            Precision::Fixed20 | Precision::Fixed25 | Precision::Fixed32
+        )
+    }
+
+    /// The fixed-point format descriptor, or `None` for float modes.
+    pub fn q_format(self) -> Option<QFormat> {
+        self.is_fixed_point().then(|| QFormat::new(self.value_bits()))
+    }
+
+    /// Short label used in the paper's figures (e.g. `"20b"`, `"F32"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fixed20 => "20b",
+            Precision::Fixed25 => "25b",
+            Precision::Fixed32 => "32b",
+            Precision::Float32 => "F32",
+            Precision::Half16 => "F16",
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing a [`Precision`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrecisionError {
+    input: String,
+}
+
+impl fmt::Display for ParsePrecisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown precision `{}` (expected one of 20b, 25b, 32b, f32, f16)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePrecisionError {}
+
+impl FromStr for Precision {
+    type Err = ParsePrecisionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "20b" | "20" | "q1.19" | "fixed20" => Ok(Precision::Fixed20),
+            "25b" | "25" | "q1.24" | "fixed25" => Ok(Precision::Fixed25),
+            "32b" | "32" | "q1.31" | "fixed32" => Ok(Precision::Fixed32),
+            "f32" | "float32" | "float" => Ok(Precision::Float32),
+            "f16" | "half" | "half16" => Ok(Precision::Half16),
+            _ => Err(ParsePrecisionError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_bits_match_paper() {
+        assert_eq!(Precision::Fixed20.value_bits(), 20);
+        assert_eq!(Precision::Fixed25.value_bits(), 25);
+        assert_eq!(Precision::Fixed32.value_bits(), 32);
+        assert_eq!(Precision::Float32.value_bits(), 32);
+        assert_eq!(Precision::Half16.value_bits(), 16);
+    }
+
+    #[test]
+    fn fixed_point_classification() {
+        assert!(Precision::Fixed20.is_fixed_point());
+        assert!(Precision::Fixed25.is_fixed_point());
+        assert!(Precision::Fixed32.is_fixed_point());
+        assert!(!Precision::Float32.is_fixed_point());
+        assert!(!Precision::Half16.is_fixed_point());
+    }
+
+    #[test]
+    fn q_format_only_for_fixed() {
+        assert_eq!(Precision::Fixed25.q_format(), Some(QFormat::new(25)));
+        assert_eq!(Precision::Float32.q_format(), None);
+    }
+
+    #[test]
+    fn parses_paper_labels() {
+        for p in [
+            Precision::Fixed20,
+            Precision::Fixed25,
+            Precision::Fixed32,
+            Precision::Float32,
+            Precision::Half16,
+        ] {
+            assert_eq!(p.label().parse::<Precision>().unwrap(), p);
+        }
+        assert!("q2.30".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn fpga_designs_order_matches_table2() {
+        let labels: Vec<_> = Precision::FPGA_DESIGNS.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["20b", "25b", "32b", "F32"]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Quantisation error analysis for choosing the value width `V`.
+//!
+//! §IV-C of the paper picks `V = 20` after observing that 20-bit fixed
+//! point already preserves Top-K quality. This module quantifies the
+//! error a given format introduces on a sample of values, supporting the
+//! design-space ablation.
+
+use crate::QFormat;
+
+/// Summary statistics of the error introduced by quantising a set of
+/// values to a fixed-point grid.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_fixed::{quantization_error, QFormat};
+///
+/// let values = [0.11, 0.52, 0.93];
+/// let report = quantization_error(QFormat::new(20), &values);
+/// assert!(report.max_abs_error <= report.format.epsilon() / 2.0 + 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationReport {
+    /// The format analysed.
+    pub format: QFormat,
+    /// Number of values sampled.
+    pub count: usize,
+    /// Largest absolute error observed.
+    pub max_abs_error: f64,
+    /// Mean absolute error.
+    pub mean_abs_error: f64,
+    /// Root-mean-square error.
+    pub rms_error: f64,
+    /// Number of values that saturated at the format maximum.
+    pub saturated: usize,
+}
+
+/// Measures the quantisation error of `format` over `values`.
+///
+/// Values outside `[0, max]` count towards [`QuantizationReport::saturated`]
+/// (negative values clamp to zero).
+pub fn quantization_error(format: QFormat, values: &[f64]) -> QuantizationReport {
+    let mut max_abs = 0.0f64;
+    let mut sum_abs = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut saturated = 0usize;
+    for &v in values {
+        let q = format.quantize(v);
+        if v > format.max_value() || v < 0.0 {
+            saturated += 1;
+        }
+        let e = (q - v).abs();
+        max_abs = max_abs.max(e);
+        sum_abs += e;
+        sum_sq += e * e;
+    }
+    let n = values.len().max(1) as f64;
+    QuantizationReport {
+        format,
+        count: values.len(),
+        max_abs_error: max_abs,
+        mean_abs_error: sum_abs / n,
+        rms_error: (sum_sq / n).sqrt(),
+        saturated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_error_bounded_by_half_ulp() {
+        let fmt = QFormat::new(20);
+        let values: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let r = quantization_error(fmt, &values);
+        assert_eq!(r.count, 1000);
+        assert_eq!(r.saturated, 0);
+        assert!(r.max_abs_error <= fmt.epsilon() / 2.0 + 1e-15);
+        assert!(r.mean_abs_error <= r.max_abs_error);
+        assert!(r.rms_error <= r.max_abs_error);
+    }
+
+    #[test]
+    fn wider_formats_have_smaller_error() {
+        let values: Vec<f64> = (0..512).map(|i| (i as f64 * 0.7919) % 1.0).collect();
+        let e20 = quantization_error(QFormat::new(20), &values).rms_error;
+        let e25 = quantization_error(QFormat::new(25), &values).rms_error;
+        let e32 = quantization_error(QFormat::new(32), &values).rms_error;
+        assert!(e20 > e25 && e25 > e32);
+    }
+
+    #[test]
+    fn saturation_is_counted() {
+        let fmt = QFormat::new(20);
+        let r = quantization_error(fmt, &[-0.5, 0.5, 3.0]);
+        assert_eq!(r.saturated, 2);
+    }
+
+    #[test]
+    fn empty_input_is_zeroes() {
+        let r = quantization_error(QFormat::new(20), &[]);
+        assert_eq!(r.count, 0);
+        assert_eq!(r.max_abs_error, 0.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The scalar abstraction the SpMV engine is generic over.
+
+use crate::{Half, UFixed};
+
+/// Arithmetic contract for a value type flowing through the Top-K SpMV
+/// datapath.
+///
+/// The engine reads `VALUE_BITS`-wide raw values from BS-CSR packets,
+/// multiplies them against query-vector entries, and accumulates per-row
+/// partial sums. Each implementation mirrors what the corresponding
+/// hardware does:
+///
+/// - fixed-point designs multiply exactly into a double-width register and
+///   accumulate with saturation (a DSP cascade);
+/// - `F32` uses native binary32 adders;
+/// - [`Half`] rounds after every operation (a native half-precision FMA
+///   pipeline without a wide accumulator), which is what makes the GPU
+///   `F16` baseline lose accuracy in Figure 7.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_fixed::{SpmvScalar, Q1_31};
+///
+/// let raw = Q1_31::encode(0.75);
+/// let v = Q1_31::decode(raw);
+/// assert_eq!(v.to_f64(), 0.75);
+/// ```
+pub trait SpmvScalar: Copy + core::fmt::Debug + Send + Sync + 'static {
+    /// Accumulator type for per-row partial sums.
+    type Acc: Copy + core::fmt::Debug + PartialOrd + Send + Sync;
+
+    /// Width of the raw encoding in a BS-CSR packet, in bits.
+    const VALUE_BITS: u32;
+
+    /// Quantizes an `f64` into the raw packet encoding.
+    fn encode(value: f64) -> u64;
+
+    /// Reconstructs a value from its raw packet encoding.
+    ///
+    /// Only the low `VALUE_BITS` bits of `raw` are meaningful.
+    fn decode(raw: u64) -> Self;
+
+    /// Converts a value (not an accumulator) to `f64`.
+    fn value_to_f64(self) -> f64;
+
+    /// Multiplies two values into the accumulator domain.
+    fn mul(a: Self, b: Self) -> Self::Acc;
+
+    /// Adds two accumulator values (saturating for fixed point).
+    fn acc_add(a: Self::Acc, b: Self::Acc) -> Self::Acc;
+
+    /// The accumulator additive identity.
+    fn acc_zero() -> Self::Acc;
+
+    /// Converts an accumulator value to `f64` for reporting.
+    fn acc_to_f64(acc: Self::Acc) -> f64;
+
+    /// Convenience: `decode(encode(v))` as `f64` — the value the datapath
+    /// actually sees for an input `v`.
+    fn round_trip(value: f64) -> f64 {
+        Self::acc_to_f64(Self::mul(Self::decode(Self::encode(value)), Self::decode(Self::encode(1.0))))
+    }
+}
+
+impl<const BITS: u32> SpmvScalar for UFixed<BITS> {
+    /// Raw `u64` with `2 * (BITS - 1)` fractional bits; headroom mirrors
+    /// the wide DSP accumulator in the RTL.
+    type Acc = u64;
+
+    const VALUE_BITS: u32 = BITS;
+
+    fn encode(value: f64) -> u64 {
+        Self::from_f64(value).raw() as u64
+    }
+
+    fn decode(raw: u64) -> Self {
+        Self::from_raw((raw & ((1u64 << BITS) - 1)) as u32)
+    }
+
+    fn value_to_f64(self) -> f64 {
+        self.to_f64()
+    }
+
+    fn mul(a: Self, b: Self) -> u64 {
+        a.widening_mul(b)
+    }
+
+    fn acc_add(a: u64, b: u64) -> u64 {
+        a.saturating_add(b)
+    }
+
+    fn acc_zero() -> u64 {
+        0
+    }
+
+    fn acc_to_f64(acc: u64) -> f64 {
+        acc as f64 / (2.0f64).powi(2 * (BITS as i32 - 1))
+    }
+}
+
+/// IEEE binary32 wrapper implementing [`SpmvScalar`] for the `F32` FPGA
+/// design (and the GPU `F32` baseline).
+///
+/// A newtype is used instead of raw `f32` so that the packet codec can
+/// state the encoding (`to_bits`) explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct F32(pub f32);
+
+impl SpmvScalar for F32 {
+    type Acc = f32;
+
+    const VALUE_BITS: u32 = 32;
+
+    fn encode(value: f64) -> u64 {
+        (value as f32).to_bits() as u64
+    }
+
+    fn decode(raw: u64) -> Self {
+        F32(f32::from_bits(raw as u32))
+    }
+
+    fn value_to_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    fn mul(a: Self, b: Self) -> f32 {
+        a.0 * b.0
+    }
+
+    fn acc_add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+
+    fn acc_zero() -> f32 {
+        0.0
+    }
+
+    fn acc_to_f64(acc: f32) -> f64 {
+        acc as f64
+    }
+}
+
+impl SpmvScalar for Half {
+    /// Accumulation in binary16 itself: every partial sum is rounded,
+    /// matching a GPU kernel that keeps the running dot product in
+    /// `__half` registers.
+    type Acc = Half;
+
+    const VALUE_BITS: u32 = 16;
+
+    fn encode(value: f64) -> u64 {
+        Half::from_f64(value).to_bits() as u64
+    }
+
+    fn decode(raw: u64) -> Self {
+        Half::from_bits(raw as u16)
+    }
+
+    fn value_to_f64(self) -> f64 {
+        self.to_f64()
+    }
+
+    fn mul(a: Self, b: Self) -> Half {
+        a.mul(b)
+    }
+
+    fn acc_add(a: Half, b: Half) -> Half {
+        a.add(b)
+    }
+
+    fn acc_zero() -> Half {
+        Half::ZERO
+    }
+
+    fn acc_to_f64(acc: Half) -> f64 {
+        acc.to_f64()
+    }
+}
+
+impl PartialOrd for Half {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Q1_19, Q1_31};
+
+    #[test]
+    fn fixed_encode_decode_round_trip() {
+        let raw = Q1_19::encode(0.625);
+        assert_eq!(Q1_19::decode(raw).to_f64(), 0.625);
+    }
+
+    #[test]
+    fn decode_masks_to_value_bits() {
+        // High garbage bits beyond VALUE_BITS must be ignored.
+        let raw = Q1_19::encode(0.5) | (0xFFu64 << 40);
+        assert_eq!(Q1_19::decode(raw).to_f64(), 0.5);
+    }
+
+    #[test]
+    fn fixed_dot_product_matches_f64() {
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let ys = [0.4, 0.3, 0.2, 0.1];
+        let mut acc = Q1_31::acc_zero();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            acc = Q1_31::acc_add(acc, Q1_31::mul(Q1_31::from_f64(x), Q1_31::from_f64(y)));
+        }
+        let exact: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        assert!((Q1_31::acc_to_f64(acc) - exact).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fixed_accumulator_saturates() {
+        let max_acc = u64::MAX;
+        let one = Q1_31::mul(Q1_31::ONE, Q1_31::ONE);
+        assert_eq!(Q1_31::acc_add(max_acc, one), u64::MAX);
+    }
+
+    #[test]
+    fn f32_matches_native() {
+        let raw = F32::encode(0.3);
+        assert_eq!(F32::decode(raw).0, 0.3f32);
+        assert_eq!(F32::mul(F32(0.5), F32(0.25)), 0.125);
+    }
+
+    #[test]
+    fn half_accumulation_loses_precision() {
+        // Summing 1000 copies of 0.001 in binary16 drifts visibly; the
+        // same sum in f32 is near-exact. This asymmetry is the Figure 7
+        // accuracy gap.
+        let v = Half::from_f64(0.001);
+        let mut acc_h = Half::acc_zero();
+        for _ in 0..1000 {
+            acc_h = Half::acc_add(acc_h, Half::mul(v, Half::ONE));
+        }
+        let err_h = (Half::acc_to_f64(acc_h) - 1.0).abs();
+        let mut acc_f = F32::acc_zero();
+        for _ in 0..1000 {
+            acc_f = F32::acc_add(acc_f, F32::mul(F32(0.001), F32(1.0)));
+        }
+        let err_f = (F32::acc_to_f64(acc_f) - 1.0).abs();
+        assert!(err_h > 10.0 * err_f, "err_h={err_h} err_f={err_f}");
+    }
+
+    #[test]
+    fn value_bits_constants() {
+        assert_eq!(<Q1_19 as SpmvScalar>::VALUE_BITS, 20);
+        assert_eq!(<F32 as SpmvScalar>::VALUE_BITS, 32);
+        assert_eq!(<Half as SpmvScalar>::VALUE_BITS, 16);
+    }
+}

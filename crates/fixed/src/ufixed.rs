@@ -1,0 +1,284 @@
+//! Unsigned fixed-point numbers with one integer bit (`Q1.(BITS-1)`).
+
+use core::fmt;
+
+/// Description of a `Q1.f` unsigned fixed-point format.
+///
+/// `QFormat` is the runtime companion of [`UFixed`]: it exposes the bit
+/// budget, resolution and range of a format so that packet-layout solvers
+/// and resource models can reason about precision without instantiating a
+/// const-generic type.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_fixed::QFormat;
+///
+/// let q = QFormat::new(20);
+/// assert_eq!(q.frac_bits(), 19);
+/// assert!(q.epsilon() > 0.0 && q.epsilon() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    bits: u32,
+}
+
+impl QFormat {
+    /// Creates a format with `bits` total bits (1 integer + `bits-1`
+    /// fractional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=32`.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (2..=32).contains(&bits),
+            "QFormat requires 2..=32 bits, got {bits}"
+        );
+        Self { bits }
+    }
+
+    /// Total number of bits.
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of fractional bits (`bits - 1`).
+    pub fn frac_bits(self) -> u32 {
+        self.bits - 1
+    }
+
+    /// Smallest representable positive value (one unit in the last place).
+    pub fn epsilon(self) -> f64 {
+        (-(self.frac_bits() as f64)).exp2()
+    }
+
+    /// Largest representable value, `2 - epsilon`.
+    pub fn max_value(self) -> f64 {
+        2.0 - self.epsilon()
+    }
+
+    /// Quantizes `v` to this format's grid with round-to-nearest,
+    /// saturating to `[0, max_value]`.
+    pub fn quantize(self, v: f64) -> f64 {
+        let scale = (self.frac_bits() as f64).exp2();
+        let raw = (v * scale).round().clamp(0.0, (self.raw_max()) as f64);
+        raw / scale
+    }
+
+    /// Largest raw (integer) representation.
+    pub fn raw_max(self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q1.{}", self.frac_bits())
+    }
+}
+
+/// Unsigned fixed-point value in the `Q1.(BITS-1)` format used by the
+/// FPGA datapath.
+///
+/// The paper's datapath keeps matrix values and the query vector in
+/// unsigned fixed point with a single integer bit: embeddings are
+/// non-negative and L2-normalised, so every value and every dot product
+/// lies in `[0, 1]`, and one integer bit gives headroom up to
+/// `2 - 2^-(BITS-1)`.
+///
+/// Values are stored as raw integers scaled by `2^(BITS-1)`. Conversion
+/// from `f64` rounds to nearest and saturates; arithmetic mirrors what a
+/// DSP slice does (exact product into a double-width register).
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_fixed::UFixed;
+///
+/// let x = UFixed::<20>::from_f64(0.3);
+/// assert!((x.to_f64() - 0.3).abs() < 2e-6);
+/// assert_eq!(UFixed::<20>::FRAC_BITS, 19);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UFixed<const BITS: u32> {
+    raw: u32,
+}
+
+impl<const BITS: u32> UFixed<BITS> {
+    /// Number of fractional bits.
+    pub const FRAC_BITS: u32 = BITS - 1;
+    /// Raw scale factor, `2^FRAC_BITS`.
+    pub const SCALE: u64 = 1 << Self::FRAC_BITS;
+    /// Maximum raw value (all `BITS` bits set).
+    pub const RAW_MAX: u32 = (((1u64 << BITS) - 1) & 0xFFFF_FFFF) as u32;
+
+    /// The additive identity.
+    pub const ZERO: Self = Self { raw: 0 };
+    /// The multiplicative identity (`1.0`).
+    pub const ONE: Self = Self {
+        raw: Self::SCALE as u32,
+    };
+
+    /// Creates a value from its raw scaled representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds [`Self::RAW_MAX`].
+    pub fn from_raw(raw: u32) -> Self {
+        assert!(
+            raw <= Self::RAW_MAX,
+            "raw value {raw:#x} exceeds {BITS}-bit format max {:#x}",
+            Self::RAW_MAX
+        );
+        Self { raw }
+    }
+
+    /// Returns the raw scaled representation.
+    pub fn raw(self) -> u32 {
+        self.raw
+    }
+
+    /// Converts from `f64` with round-to-nearest, saturating to
+    /// `[0, 2 - ulp]`. Negative and NaN inputs map to zero.
+    pub fn from_f64(v: f64) -> Self {
+        if v.is_nan() || v <= 0.0 {
+            return Self::ZERO;
+        }
+        let scaled = v * Self::SCALE as f64;
+        let raw = if scaled >= Self::RAW_MAX as f64 {
+            Self::RAW_MAX
+        } else {
+            scaled.round() as u32
+        };
+        Self { raw }
+    }
+
+    /// Converts to `f64` (exact: every representable value fits in the
+    /// f64 mantissa for `BITS <= 32`).
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / Self::SCALE as f64
+    }
+
+    /// Saturating addition in the value domain.
+    pub fn saturating_add(self, other: Self) -> Self {
+        let sum = self.raw as u64 + other.raw as u64;
+        Self {
+            raw: sum.min(Self::RAW_MAX as u64) as u32,
+        }
+    }
+
+    /// Exact product as a raw `u64` with `2 * FRAC_BITS` fractional bits,
+    /// mirroring a DSP multiplier output register.
+    pub fn widening_mul(self, other: Self) -> u64 {
+        self.raw as u64 * other.raw as u64
+    }
+
+    /// Runtime format descriptor for this width.
+    pub fn format() -> QFormat {
+        QFormat::new(BITS)
+    }
+}
+
+impl<const BITS: u32> fmt::Debug for UFixed<BITS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UFixed<{BITS}>({})", self.to_f64())
+    }
+}
+
+impl<const BITS: u32> fmt::Display for UFixed<BITS> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl<const BITS: u32> From<UFixed<BITS>> for f64 {
+    fn from(v: UFixed<BITS>) -> f64 {
+        v.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_round_trip() {
+        assert_eq!(UFixed::<20>::ZERO.to_f64(), 0.0);
+        assert_eq!(UFixed::<20>::ONE.to_f64(), 1.0);
+        assert_eq!(UFixed::<32>::ONE.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn from_f64_rounds_to_nearest() {
+        // 0.5 + half an ulp rounds up.
+        let ulp = 1.0 / UFixed::<20>::SCALE as f64;
+        let v = UFixed::<20>::from_f64(0.5 + 0.6 * ulp);
+        assert_eq!(v.raw(), (UFixed::<20>::SCALE / 2) as u32 + 1);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(UFixed::<20>::from_f64(-3.0), UFixed::<20>::ZERO);
+        assert_eq!(UFixed::<20>::from_f64(f64::NAN), UFixed::<20>::ZERO);
+    }
+
+    #[test]
+    fn saturates_at_format_max() {
+        let v = UFixed::<20>::from_f64(100.0);
+        assert_eq!(v.raw(), UFixed::<20>::RAW_MAX);
+        assert!((v.to_f64() - UFixed::<20>::format().max_value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_add_clamps() {
+        let max = UFixed::<20>::from_raw(UFixed::<20>::RAW_MAX);
+        assert_eq!(max.saturating_add(max).raw(), UFixed::<20>::RAW_MAX);
+        let half = UFixed::<20>::from_f64(0.5);
+        assert_eq!(half.saturating_add(half), UFixed::<20>::ONE);
+    }
+
+    #[test]
+    fn widening_mul_is_exact() {
+        let a = UFixed::<20>::from_f64(0.5);
+        let b = UFixed::<20>::from_f64(0.25);
+        let prod = a.widening_mul(b);
+        let frac = 2 * UFixed::<20>::FRAC_BITS;
+        assert_eq!(prod as f64 / (frac as f64).exp2(), 0.125);
+    }
+
+    #[test]
+    fn q32_raw_max_is_full_word() {
+        assert_eq!(UFixed::<32>::RAW_MAX, u32::MAX);
+    }
+
+    #[test]
+    fn qformat_reports_resolution() {
+        let q = QFormat::new(25);
+        assert_eq!(q.bits(), 25);
+        assert_eq!(q.frac_bits(), 24);
+        assert_eq!(q.epsilon(), (2.0f64).powi(-24));
+        assert_eq!(q.raw_max(), (1 << 25) - 1);
+        assert_eq!(q.to_string(), "Q1.24");
+    }
+
+    #[test]
+    fn qformat_quantize_matches_ufixed() {
+        let q = QFormat::new(20);
+        for &v in &[0.0, 0.1, 0.3333, 0.9999, 1.5, 2.5] {
+            assert_eq!(q.quantize(v), UFixed::<20>::from_f64(v).to_f64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn from_raw_rejects_out_of_range() {
+        let _ = UFixed::<20>::from_raw(1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=32 bits")]
+    fn qformat_rejects_zero_bits() {
+        let _ = QFormat::new(0);
+    }
+}

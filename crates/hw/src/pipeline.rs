@@ -1,0 +1,202 @@
+//! Cycle-level model of the 4-stage dataflow pipeline (§IV-B).
+//!
+//! The RTL is a free-running dataflow of four stages connected by FIFOs,
+//! each with initiation interval 1 in steady state:
+//!
+//! 1. **scatter/multiply** — B parallel URAM reads + multipliers;
+//! 2. **aggregation** — a segmented adder tree over the B products;
+//! 3. **summary** — cross-packet row stitching;
+//! 4. **top-k update** — argmin scan and conditional replace.
+//!
+//! Steady-state throughput is one packet per cycle, so the analytic
+//! channel model ([`crate::ChannelModel`]) is exact up to pipeline fill
+//! and drain; this module accounts for those, exposes per-stage
+//! latencies (which set the achievable clock), and quantifies why a
+//! large `k` (deep argmin) or floating-point adders (deep trees) hurt
+//! timing closure.
+
+/// Latency/II description of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Stage name, for reports.
+    pub name: &'static str,
+    /// Register stages through the logic (cycles from input to output).
+    pub latency: u32,
+    /// Initiation interval: cycles between accepted inputs.
+    pub ii: u32,
+}
+
+/// The 4-stage dataflow pipeline of one core.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_hw::PipelineModel;
+///
+/// let p = PipelineModel::paper_dataflow(15, 8, false);
+/// assert_eq!(p.initiation_interval(), 1);
+/// // 1M packets take ~1M cycles + fill/drain.
+/// let cycles = p.cycles_for(1_000_000);
+/// assert!(cycles >= 1_000_000 && cycles < 1_000_100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineModel {
+    stages: [StageSpec; 4],
+}
+
+impl PipelineModel {
+    /// Builds the paper's dataflow for packet capacity `b`, Top-K depth
+    /// `k`, and datapath kind.
+    ///
+    /// Latency scaling:
+    /// - the multiplier array is a fixed DSP pipeline (float mantissa
+    ///   alignment adds stages);
+    /// - the segmented adder tree is `ceil(log2 b)` levels deep, and
+    ///   float adders are themselves multi-cycle;
+    /// - the argmin scan grows with `ceil(log2 k)` compare levels plus
+    ///   the read-modify-write of the scratchpad — the RAW chain that
+    ///   §IV-B blames for clock loss at large `k`.
+    pub fn paper_dataflow(b: u32, k: u32, is_float: bool) -> Self {
+        assert!(b > 0 && k > 0, "b and k must be positive");
+        let log_b = ceil_log2(b);
+        let log_k = ceil_log2(k);
+        let (mul_lat, add_lat) = if is_float { (6, 4) } else { (4, 1) };
+        Self {
+            stages: [
+                StageSpec {
+                    name: "scatter/multiply",
+                    latency: 1 + mul_lat,
+                    ii: 1,
+                },
+                StageSpec {
+                    name: "aggregation",
+                    latency: log_b * add_lat + 1,
+                    ii: 1,
+                },
+                StageSpec {
+                    name: "summary",
+                    latency: 2,
+                    ii: 1,
+                },
+                StageSpec {
+                    name: "top-k update",
+                    latency: log_k + 2,
+                    ii: 1,
+                },
+            ],
+        }
+    }
+
+    /// The stages, in dataflow order.
+    pub fn stages(&self) -> &[StageSpec; 4] {
+        &self.stages
+    }
+
+    /// Total register depth (fill latency) of the pipeline.
+    pub fn depth(&self) -> u32 {
+        self.stages.iter().map(|s| s.latency).sum()
+    }
+
+    /// Overall initiation interval: the slowest stage's II.
+    pub fn initiation_interval(&self) -> u32 {
+        self.stages.iter().map(|s| s.ii).max().expect("4 stages")
+    }
+
+    /// Cycles to process `packets` packets: fill + steady state.
+    pub fn cycles_for(&self, packets: u64) -> u64 {
+        if packets == 0 {
+            return 0;
+        }
+        self.depth() as u64 + (packets - 1) * self.initiation_interval() as u64 + 1
+    }
+
+    /// Steady-state efficiency for a stream of `packets`: useful cycles
+    /// over total (fill/drain amortise away for long streams).
+    pub fn efficiency(&self, packets: u64) -> f64 {
+        if packets == 0 {
+            return 1.0;
+        }
+        packets as f64 / self.cycles_for(packets) as f64
+    }
+
+    /// A rough combinational-depth score used to sanity-check the clock
+    /// model: deeper single-stage logic means a slower clock.
+    pub fn critical_stage(&self) -> StageSpec {
+        *self
+            .stages
+            .iter()
+            .max_by_key(|s| s.latency)
+            .expect("4 stages")
+    }
+}
+
+fn ceil_log2(v: u32) -> u32 {
+    32 - (v.max(1) - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_is_one_packet_per_cycle() {
+        let p = PipelineModel::paper_dataflow(15, 8, false);
+        assert_eq!(p.initiation_interval(), 1);
+        let c1 = p.cycles_for(1000);
+        let c2 = p.cycles_for(2000);
+        assert_eq!(c2 - c1, 1000, "1 packet per cycle in steady state");
+    }
+
+    #[test]
+    fn fill_latency_matches_depth() {
+        let p = PipelineModel::paper_dataflow(15, 8, false);
+        assert_eq!(p.cycles_for(1), p.depth() as u64 + 1);
+        assert_eq!(p.cycles_for(0), 0);
+    }
+
+    #[test]
+    fn float_pipeline_is_deeper() {
+        let fixed = PipelineModel::paper_dataflow(11, 8, false);
+        let float = PipelineModel::paper_dataflow(11, 8, true);
+        assert!(float.depth() > fixed.depth());
+        // Aggregation dominates the float pipeline (deep adder tree).
+        assert_eq!(float.critical_stage().name, "aggregation");
+    }
+
+    #[test]
+    fn larger_k_deepens_topk_stage() {
+        let k8 = PipelineModel::paper_dataflow(15, 8, false);
+        let k64 = PipelineModel::paper_dataflow(15, 64, false);
+        let topk = |p: &PipelineModel| p.stages()[3].latency;
+        assert!(topk(&k64) > topk(&k8));
+    }
+
+    #[test]
+    fn long_streams_amortise_fill() {
+        let p = PipelineModel::paper_dataflow(15, 8, false);
+        assert!(p.efficiency(10) < 0.6);
+        assert!(p.efficiency(1_000_000) > 0.9999);
+    }
+
+    #[test]
+    fn pipeline_fill_is_negligible_vs_burst_overhead() {
+        // Consistency with the channel model: for realistic streams the
+        // pipeline adds less overhead than AXI bursts do.
+        let p = PipelineModel::paper_dataflow(15, 8, false);
+        let packets = 100_000u64;
+        let pipe_overhead = p.cycles_for(packets) - packets;
+        let burst_overhead = crate::AxiBurstModel::max_length()
+            .timing(packets)
+            .overhead_cycles;
+        assert!(pipe_overhead < burst_overhead / 10);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(15), 4);
+    }
+}

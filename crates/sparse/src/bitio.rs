@@ -1,0 +1,230 @@
+//! Bit-granular field access inside a 512-bit packet.
+//!
+//! BS-CSR fields are not byte-aligned (e.g. 4-bit `ptr`, 10-bit `idx`,
+//! 20-bit `val`), so the codec needs an LSB-first bit cursor over the
+//! packet words, equivalent to HLS `ap_uint<512>.range(hi, lo)` slices.
+
+use crate::packet::{Packet512, PACKET_BITS};
+
+/// Sequential LSB-first bit writer over a [`Packet512`].
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_sparse::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write(0b101, 3);
+/// w.write(0x3FF, 10);
+/// let packet = w.finish();
+///
+/// let mut r = BitReader::new(&packet);
+/// assert_eq!(r.read(3), 0b101);
+/// assert_eq!(r.read(10), 0x3FF);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitWriter {
+    packet: Packet512,
+    pos: usize,
+}
+
+impl BitWriter {
+    /// Creates a writer positioned at bit 0 of an all-zero packet.
+    pub fn new() -> Self {
+        Self {
+            packet: Packet512::ZERO,
+            pos: 0,
+        }
+    }
+
+    /// Appends the low `bits` bits of `value` at the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64`, if `value` has bits set above `bits`, or if
+    /// the write would overflow the 512-bit packet.
+    pub fn write(&mut self, value: u64, bits: u32) {
+        assert!(bits <= 64, "cannot write more than 64 bits at once");
+        assert!(
+            bits == 64 || value < (1u64 << bits),
+            "value {value:#x} does not fit in {bits} bits"
+        );
+        assert!(
+            self.pos + bits as usize <= PACKET_BITS,
+            "write of {bits} bits at position {} overflows the packet",
+            self.pos
+        );
+        let mut remaining = bits;
+        let mut value = value;
+        while remaining > 0 {
+            let word = self.pos / 64;
+            let offset = (self.pos % 64) as u32;
+            let take = remaining.min(64 - offset);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            self.packet.words_mut()[word] |= (value & mask) << offset;
+            value = if take == 64 { 0 } else { value >> take };
+            self.pos += take as usize;
+            remaining -= take;
+        }
+    }
+
+    /// Current bit position (number of bits written).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Returns the packet; any unwritten tail bits are zero.
+    pub fn finish(self) -> Packet512 {
+        self.packet
+    }
+}
+
+impl Default for BitWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sequential LSB-first bit reader over a [`Packet512`].
+///
+/// See [`BitWriter`] for the matching write side.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    packet: &'a Packet512,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at bit 0.
+    pub fn new(packet: &'a Packet512) -> Self {
+        Self { packet, pos: 0 }
+    }
+
+    /// Reads `bits` bits at the cursor and advances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64` or the read would run past bit 512.
+    pub fn read(&mut self, bits: u32) -> u64 {
+        assert!(bits <= 64, "cannot read more than 64 bits at once");
+        assert!(
+            self.pos + bits as usize <= PACKET_BITS,
+            "read of {bits} bits at position {} overflows the packet",
+            self.pos
+        );
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < bits {
+            let word = self.pos / 64;
+            let offset = (self.pos % 64) as u32;
+            let take = (bits - got).min(64 - offset);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let chunk = (self.packet.words()[word] >> offset) & mask;
+            out |= chunk << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        out
+    }
+
+    /// Skips `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if skipping would run past bit 512.
+    pub fn skip(&mut self, bits: u32) {
+        assert!(self.pos + bits as usize <= PACKET_BITS);
+        self.pos += bits as usize;
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_field_round_trip() {
+        let mut w = BitWriter::new();
+        w.write(0xDEAD, 16);
+        let p = w.finish();
+        assert_eq!(BitReader::new(&p).read(16), 0xDEAD);
+    }
+
+    #[test]
+    fn fields_cross_word_boundaries() {
+        let mut w = BitWriter::new();
+        w.write(0, 60); // push the cursor near a word boundary
+        w.write(0xABCDE, 20); // spans words 0 and 1
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        r.skip(60);
+        assert_eq!(r.read(20), 0xABCDE);
+    }
+
+    #[test]
+    fn full_packet_of_mixed_fields_round_trips() {
+        // Simulate the paper's 20-bit layout: 1 + 15*(4+10+20) = 511 bits.
+        let mut w = BitWriter::new();
+        w.write(1, 1);
+        for i in 0..15u64 {
+            w.write(i & 0xF, 4);
+        }
+        for i in 0..15u64 {
+            w.write((i * 37) & 0x3FF, 10);
+        }
+        for i in 0..15u64 {
+            w.write((i * 77777) & 0xFFFFF, 20);
+        }
+        assert_eq!(w.position(), 511);
+        let p = w.finish();
+
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read(1), 1);
+        for i in 0..15u64 {
+            assert_eq!(r.read(4), i & 0xF);
+        }
+        for i in 0..15u64 {
+            assert_eq!(r.read(10), (i * 37) & 0x3FF);
+        }
+        for i in 0..15u64 {
+            assert_eq!(r.read(20), (i * 77777) & 0xFFFFF);
+        }
+    }
+
+    #[test]
+    fn write_64_bit_field() {
+        let mut w = BitWriter::new();
+        w.write(3, 2);
+        w.write(u64::MAX, 64);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read(2), 3);
+        assert_eq!(r.read(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_is_rejected() {
+        BitWriter::new().write(0x10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the packet")]
+    fn overflowing_write_is_rejected() {
+        let mut w = BitWriter::new();
+        w.write(0, 64);
+        w.write(0, 64);
+        w.write(0, 64);
+        w.write(0, 64);
+        w.write(0, 64);
+        w.write(0, 64);
+        w.write(0, 64);
+        w.write(0, 63);
+        w.write(0, 2); // 513th bit
+    }
+}

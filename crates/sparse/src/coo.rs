@@ -1,0 +1,202 @@
+//! Coordinate-list (COO) sparse matrix.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// COO stores, for every non-zero, its row, column and value in three
+/// parallel arrays. The paper uses COO as the streaming strawman that
+/// BS-CSR improves on: it streams well (no data-dependent accesses) but
+/// wastes bits restating the row coordinate of every entry.
+///
+/// Entries are kept sorted by `(row, col)`; construction validates
+/// bounds and rejects duplicates.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_sparse::Coo;
+///
+/// let coo = Coo::from_triplets(2, 3, &[(0, 1, 0.5), (1, 2, 0.25)])?;
+/// assert_eq!(coo.nnz(), 2);
+/// assert_eq!(coo.rows()[1], 1);
+/// # Ok::<(), tkspmv_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo {
+    num_rows: usize,
+    num_cols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Coo {
+    /// Builds a COO matrix from `(row, col, value)` triplets, sorting
+    /// them by coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any coordinate is out of bounds or duplicated.
+    pub fn from_triplets(
+        num_rows: usize,
+        num_cols: usize,
+        triplets: &[(u32, u32, f32)],
+    ) -> Result<Self, SparseError> {
+        if num_rows > u32::MAX as usize || num_cols > u32::MAX as usize {
+            return Err(SparseError::DimensionTooLarge {
+                detail: format!("shape {num_rows}x{num_cols} exceeds u32 coordinates"),
+            });
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut rows = Vec::with_capacity(sorted.len());
+        let mut cols = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(u32, u32)> = None;
+        for (r, c, v) in sorted {
+            if r as usize >= num_rows || c as usize >= num_cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r as usize,
+                    col: c as usize,
+                    num_rows,
+                    num_cols,
+                });
+            }
+            if prev == Some((r, c)) {
+                return Err(SparseError::DuplicateEntry {
+                    row: r as usize,
+                    col: c as usize,
+                });
+            }
+            prev = Some((r, c));
+            rows.push(r);
+            cols.push(c);
+            values.push(v);
+        }
+        Ok(Self {
+            num_rows,
+            num_cols,
+            rows,
+            cols,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row coordinates, sorted primary key.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Column coordinates.
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Entry values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates over `(row, col, value)` triplets in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> Csr {
+        let mut row_ptr = vec![0u64; self.num_rows + 1];
+        for &r in &self.rows {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.num_rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Csr::from_parts_unchecked(
+            self.num_rows,
+            self.num_cols,
+            row_ptr,
+            self.cols.clone(),
+            self.values.clone(),
+        )
+    }
+
+    /// Bytes needed to store the matrix as three naive 32-bit arrays
+    /// (the "Naive COO" row of Figure 3).
+    pub fn naive_size_bytes(&self) -> u64 {
+        self.nnz() as u64 * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_are_sorted_on_construction() {
+        let coo = Coo::from_triplets(3, 3, &[(2, 0, 3.0), (0, 1, 1.0), (0, 0, 2.0)]).unwrap();
+        let t: Vec<_> = coo.iter().collect();
+        assert_eq!(t, vec![(0, 0, 2.0), (0, 1, 1.0), (2, 0, 3.0)]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let e = Coo::from_triplets(2, 2, &[(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { row: 2, .. }));
+        let e = Coo::from_triplets(2, 2, &[(0, 5, 1.0)]).unwrap_err();
+        assert!(matches!(e, SparseError::IndexOutOfBounds { col: 5, .. }));
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let e = Coo::from_triplets(2, 2, &[(1, 1, 1.0), (1, 1, 2.0)]).unwrap_err();
+        assert!(matches!(e, SparseError::DuplicateEntry { row: 1, col: 1 }));
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let coo =
+            Coo::from_triplets(4, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (3, 0, 4.0)])
+                .unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.num_rows(), 4);
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.row(0).count(), 2);
+        assert_eq!(csr.row(1).count(), 0);
+        assert_eq!(csr.row(2).next(), Some((1, 3.0)));
+        assert_eq!(csr.to_coo(), coo);
+    }
+
+    #[test]
+    fn naive_size_matches_three_u32_arrays() {
+        let coo = Coo::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        assert_eq!(coo.naive_size_bytes(), 24);
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let coo = Coo::from_triplets(5, 5, &[]).unwrap();
+        assert_eq!(coo.nnz(), 0);
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+}

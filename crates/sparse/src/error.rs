@@ -1,0 +1,105 @@
+//! Error type for matrix construction and format conversion.
+
+use core::fmt;
+
+/// Error raised when building or converting a sparse matrix fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A coordinate was outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        num_rows: usize,
+        /// Declared number of columns.
+        num_cols: usize,
+    },
+    /// Two entries shared the same `(row, col)` coordinate.
+    DuplicateEntry {
+        /// Row of the duplicated coordinate.
+        row: usize,
+        /// Column of the duplicated coordinate.
+        col: usize,
+    },
+    /// A CSR row-pointer array was malformed (non-monotonic or wrong
+    /// length/terminator).
+    MalformedRowPtr {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// The requested packet layout cannot fit even one non-zero in a
+    /// 512-bit packet.
+    LayoutUnsatisfiable {
+        /// Bits needed for a column index.
+        idx_bits: u32,
+        /// Bits needed for a value.
+        value_bits: u32,
+    },
+    /// A matrix dimension exceeds what the format can address (e.g. more
+    /// columns than `idx` bits can index).
+    DimensionTooLarge {
+        /// Description of the limit that was exceeded.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                num_rows,
+                num_cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) outside matrix shape {num_rows}x{num_cols}"
+            ),
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "duplicate entry at ({row}, {col})")
+            }
+            SparseError::MalformedRowPtr { detail } => {
+                write!(f, "malformed CSR row pointers: {detail}")
+            }
+            SparseError::LayoutUnsatisfiable {
+                idx_bits,
+                value_bits,
+            } => write!(
+                f,
+                "no BS-CSR layout fits idx_bits={idx_bits}, value_bits={value_bits} in a 512-bit packet"
+            ),
+            SparseError::DimensionTooLarge { detail } => {
+                write!(f, "matrix dimension too large: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            num_rows: 4,
+            num_cols: 4,
+        };
+        assert!(e.to_string().contains("(5, 7)"));
+        assert!(e.to_string().contains("4x4"));
+        let e = SparseError::DuplicateEntry { row: 1, col: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<SparseError>();
+    }
+}

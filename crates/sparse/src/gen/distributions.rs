@@ -1,0 +1,196 @@
+//! Normal and Gamma samplers (implemented in-tree; see module docs of
+//! [`crate::gen`] for why no external distribution crate is used).
+
+use super::rng::Rng64;
+
+/// Standard-normal sampler using the Box–Muller transform with a cached
+/// spare variate.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_sparse::gen::{Normal, Rng64};
+///
+/// let mut rng = Rng64::new(1);
+/// let mut normal = Normal::new(0.0, 1.0);
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a sampler with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "std_dev must be finite and non-negative"
+        );
+        Self {
+            mean,
+            std_dev,
+            spare: None,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self, rng: &mut Rng64) -> f64 {
+        let z = if let Some(s) = self.spare.take() {
+            s
+        } else {
+            // Box–Muller: two uniforms -> two independent normals.
+            let u1 = loop {
+                let u = rng.next_f64();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            let u2 = rng.next_f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Gamma sampler (Marsaglia–Tsang squeeze method), used for the
+/// left-skewed `Γ(k = 3, θ = 4/3)` non-zeros-per-row distribution of
+/// Table III.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_sparse::gen::{Gamma, Rng64};
+///
+/// let mut rng = Rng64::new(1);
+/// let gamma = Gamma::new(3.0, 4.0 / 3.0);
+/// let x = gamma.sample(&mut rng);
+/// assert!(x > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a sampler with shape `k` and scale `θ` (mean `k·θ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && scale > 0.0, "shape and scale must be > 0");
+        Self { shape, scale }
+    }
+
+    /// The distribution mean, `k·θ`.
+    pub fn mean(self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Draws one sample.
+    pub fn sample(self, rng: &mut Rng64) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: Gamma(k) = Gamma(k + 1) * U^(1/k).
+            let boosted = Gamma::new(self.shape + 1.0, self.scale).sample(rng);
+            let u = loop {
+                let u = rng.next_f64();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            return boosted * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let mut normal = Normal::new(0.0, 1.0);
+        loop {
+            let x = normal.sample(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = rng.next_f64();
+            // Squeeze check, then full acceptance check.
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
+            {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng64::new(100);
+        let mut n = Normal::new(2.0, 3.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_match_table3_distribution() {
+        // Γ(3, 4/3): mean 4, variance k·θ² = 16/3.
+        let mut rng = Rng64::new(200);
+        let g = Gamma::new(3.0, 4.0 / 3.0);
+        assert_eq!(g.mean(), 4.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 16.0 / 3.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_is_left_skewed_positive() {
+        let mut rng = Rng64::new(300);
+        let g = Gamma::new(3.0, 4.0 / 3.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| g.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        // Skewness of Gamma(k) is 2/sqrt(k) ≈ 1.15 > 0.
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        let skew = samples.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(skew > 0.8, "skew {skew}");
+    }
+
+    #[test]
+    fn gamma_shape_below_one_boost_path() {
+        let mut rng = Rng64::new(400);
+        let g = Gamma::new(0.5, 1.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn gamma_rejects_non_positive_shape() {
+        let _ = Gamma::new(0.0, 1.0);
+    }
+}

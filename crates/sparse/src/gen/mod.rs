@@ -1,0 +1,28 @@
+//! Deterministic synthetic embedding generators (Table III workloads).
+//!
+//! The paper evaluates on 19 matrices: synthetic collections with
+//! uniform and left-skewed `Γ(k = 3, θ = 4/3)` non-zeros-per-row
+//! distributions (N up to 1.5·10⁷ rows, 20 or 40 average non-zeros per
+//! row, M ∈ {512, 1024}), plus a sparsified GloVe corpus. No public
+//! sparse-embedding dataset of that size exists, so — like the paper —
+//! we generate synthetic collections with full control over the
+//! distribution; [`glove_like`] emulates the sparsified-GloVe corpus
+//! with a Gaussian-mixture generator.
+//!
+//! All generators are seeded and fully deterministic: the same seed
+//! produces the same matrix on every run and platform. Randomness comes
+//! from an in-tree xoshiro256++ generator ([`Rng64`]) rather than an
+//! external crate so that published experiment tables stay reproducible
+//! across dependency upgrades.
+
+mod distributions;
+mod glove;
+mod rng;
+mod sparsify;
+mod synthetic;
+
+pub use distributions::{Gamma, Normal};
+pub use glove::{glove_like, GloveConfig};
+pub use rng::Rng64;
+pub use sparsify::{energy_captured, sparsify_batch};
+pub use synthetic::{query_vector, NnzDistribution, SyntheticConfig};

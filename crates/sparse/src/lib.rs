@@ -1,0 +1,60 @@
+//! Sparse matrix formats and synthetic embedding generators for Top-K
+//! SpMV.
+//!
+//! This crate implements the storage side of the DAC'21 paper:
+//!
+//! - classic [`Coo`] and [`Csr`] formats (the CPU baseline operates on
+//!   CSR, the GPU model on CSR as cuSPARSE does);
+//! - **Block-Streaming CSR** ([`BsCsr`]), the paper's novel format: every
+//!   512-bit HBM packet is a self-contained CSR micro-partition holding
+//!   `B` non-zeros with reduced-precision `idx`/`val` fields and
+//!   packet-local cumulative `ptr` entries (§III-B, Figure 3);
+//! - packed COO variants ([`CooPacketKind`]) used by the paper's Figure 3
+//!   and roofline comparison (naive COO fits 5 non-zeros per packet,
+//!   optimised COO 8, BS-CSR 15);
+//! - deterministic synthetic generators matching Table III: uniform and
+//!   left-skewed `Γ(3, 4/3)` non-zero distributions and a sparsified
+//!   GloVe-like embedding corpus (module [`gen`]).
+//!
+//! # Example: encode a matrix as BS-CSR and walk its packets
+//!
+//! ```
+//! use tkspmv_sparse::{BsCsr, Csr, PacketLayout};
+//!
+//! let csr = Csr::from_triplets(
+//!     3,
+//!     4,
+//!     &[(0, 1, 0.5), (0, 3, 0.25), (1, 0, 1.0), (2, 2, 0.75)],
+//! )?;
+//! let layout = PacketLayout::solve(4, 20)?;
+//! let bs = BsCsr::encode::<tkspmv_fixed::Q1_19>(&csr, layout);
+//! assert_eq!(bs.num_rows(), 3);
+//! let decoded = bs.decode::<tkspmv_fixed::Q1_19>();
+//! assert_eq!(decoded.num_rows(), 3);
+//! # Ok::<(), tkspmv_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitio;
+mod bscsr;
+mod coo;
+mod coo_packet;
+mod csr;
+mod dense;
+mod error;
+pub mod gen;
+pub mod io;
+mod layout;
+mod packet;
+
+pub use bitio::{BitReader, BitWriter};
+pub use bscsr::{BsCsr, PacketEntries, PacketView};
+pub use coo::Coo;
+pub use coo_packet::{CooPacketKind, CooPackets};
+pub use csr::{Csr, RowStats};
+pub use dense::DenseVector;
+pub use error::SparseError;
+pub use layout::PacketLayout;
+pub use packet::{Packet512, PACKET_BITS, PACKET_BYTES};

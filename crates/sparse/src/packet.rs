@@ -1,0 +1,99 @@
+//! The 512-bit HBM data packet.
+
+use core::fmt;
+
+/// Width of an HBM packet in bits.
+///
+/// The Alveo U280 HBM memory controllers are most efficient with 256—512
+/// bit transactions; the paper's cores read one 512-bit packet per clock
+/// cycle from their pseudo-channel.
+pub const PACKET_BITS: usize = 512;
+
+/// Width of an HBM packet in bytes.
+pub const PACKET_BYTES: usize = PACKET_BITS / 8;
+
+/// A raw 512-bit packet, stored as eight little-endian 64-bit words.
+///
+/// Bit `i` of the packet is bit `i % 64` of word `i / 64`; field codecs
+/// ([`crate::BitWriter`] / [`crate::BitReader`]) lay fields out LSB-first
+/// in increasing bit order, mirroring an HLS `ap_uint<512>` slice
+/// assignment.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_sparse::Packet512;
+///
+/// let mut p = Packet512::ZERO;
+/// p.words_mut()[0] = 0xFF;
+/// assert_eq!(p.words()[0], 0xFF);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Packet512 {
+    words: [u64; 8],
+}
+
+impl Packet512 {
+    /// The all-zero packet.
+    pub const ZERO: Self = Self { words: [0; 8] };
+
+    /// Creates a packet from eight 64-bit words.
+    pub fn from_words(words: [u64; 8]) -> Self {
+        Self { words }
+    }
+
+    /// Borrows the backing words.
+    pub fn words(&self) -> &[u64; 8] {
+        &self.words
+    }
+
+    /// Mutably borrows the backing words.
+    pub fn words_mut(&mut self) -> &mut [u64; 8] {
+        &mut self.words
+    }
+
+    /// Number of bits set across the packet (useful for tests).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+impl fmt::Debug for Packet512 {
+    /// Renders the packet as 8 hex words, most-significant first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet512[")?;
+        for (i, w) in self.words.iter().enumerate().rev() {
+            write!(f, "{w:016x}")?;
+            if i != 0 {
+                write!(f, "_")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_packet_has_no_bits() {
+        assert_eq!(Packet512::ZERO.count_ones(), 0);
+        assert_eq!(PACKET_BITS, 512);
+        assert_eq!(PACKET_BYTES, 64);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let w = [1, 2, 3, 4, 5, 6, 7, 8];
+        let p = Packet512::from_words(w);
+        assert_eq!(*p.words(), w);
+    }
+
+    #[test]
+    fn debug_renders_hex() {
+        let p = Packet512::from_words([0xAB, 0, 0, 0, 0, 0, 0, 0]);
+        let s = format!("{p:?}");
+        assert!(s.contains("00000000000000ab"), "{s}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: build the paper's 20-bit, 32-core accelerator, load a
+//! synthetic embedding collection, and run a Top-100 similarity query.
+//!
+//! Run with: `cargo run --release --bin quickstart`
+
+use tkspmv::Accelerator;
+use tkspmv_baselines::cpu::exact_topk;
+use tkspmv_fixed::Precision;
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An embedding collection: 100k sparse embeddings of dimension
+    //    512 with ~20 non-zeros each (a 1/100-scale Table III matrix).
+    println!("generating 100k x 512 sparse embedding collection...");
+    let collection = SyntheticConfig {
+        num_rows: 100_000,
+        num_cols: 512,
+        avg_nnz_per_row: 20,
+        distribution: NnzDistribution::Uniform,
+        seed: 42,
+    }
+    .generate();
+    println!(
+        "  {} rows, {} non-zeros ({:.1} avg/row)",
+        collection.num_rows(),
+        collection.nnz(),
+        collection.row_stats().mean_nnz
+    );
+
+    // 2. The paper's headline design: 20-bit fixed point, 32 cores
+    //    (one HBM pseudo-channel each), k = 8 per core.
+    let accelerator = Accelerator::builder()
+        .precision(Precision::Fixed20)
+        .cores(32)
+        .k(8)
+        .build()?;
+
+    // 3. Encode into BS-CSR partitions (the host upload step).
+    let matrix = accelerator.load_matrix(&collection)?;
+    println!(
+        "loaded as BS-CSR: B = {} non-zeros/packet, {} partitions, {:.1} MB",
+        matrix.layout.entries_per_packet(),
+        matrix.partitions.len(),
+        matrix.size_bytes() as f64 / 1e6
+    );
+
+    // 4. Query: find the 100 most similar embeddings to a random query.
+    let query = query_vector(512, 7);
+    let result = accelerator.query(&matrix, &query, 100)?;
+
+    println!("\ntop 5 of {} results:", result.topk.len());
+    for (rank, &(row, score)) in result.topk.entries().iter().take(5).enumerate() {
+        println!("  #{:<2} row {:>6}  similarity {:.4}", rank + 1, row, score);
+    }
+
+    // 5. Modelled FPGA performance for this query.
+    let perf = &result.perf;
+    println!("\nmodelled FPGA execution:");
+    println!("  kernel time     : {:.3} ms", perf.kernel_seconds * 1e3);
+    println!("  end-to-end      : {:.3} ms", perf.seconds * 1e3);
+    println!("  throughput      : {:.1} GNNZ/s", perf.gnnz_per_sec());
+    println!(
+        "  HBM bandwidth   : {:.1} GB/s over {} channels",
+        perf.achieved_bandwidth() / 1e9,
+        perf.cores
+    );
+
+    // 6. Sanity: compare against the exact CPU answer.
+    let oracle = exact_topk(&collection, query.as_slice(), 100);
+    let hits = result
+        .topk
+        .indices()
+        .iter()
+        .filter(|i| oracle.indices().contains(i))
+        .count();
+    println!("\naccuracy vs exact CPU Top-100: {hits}/100 retrieved");
+    Ok(())
+}
