@@ -2,7 +2,7 @@
 //!
 //! `sparse_dot_topn` computes exact Top-K sparse-dense products on CPU
 //! with CSR traversal and per-row bounded heaps. This module is the same
-//! algorithm in Rust: rows are split across worker threads (crossbeam
+//! algorithm in Rust: rows are split across worker threads (`std::thread`
 //! scoped threads), each worker keeps a local [`BoundedMinHeap`], and the
 //! locals are merged at the end. Arithmetic is `f32` accumulated in `f64`
 //! per row — matching a careful C++ float implementation.
@@ -81,12 +81,12 @@ impl CpuTopK {
         let threads = self.threads.min(csr.num_rows()).max(1);
         let rows_per_thread = csr.num_rows().div_ceil(threads);
 
-        let heaps: Vec<BoundedMinHeap> = crossbeam::thread::scope(|scope| {
+        let heaps: Vec<BoundedMinHeap> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let lo = t * rows_per_thread;
                     let hi = ((t + 1) * rows_per_thread).min(csr.num_rows());
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut heap = BoundedMinHeap::new(k);
                         for r in lo..hi {
                             let mut acc = 0.0f64;
@@ -103,8 +103,7 @@ impl CpuTopK {
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("thread scope failed");
+        });
 
         let mut merged = BoundedMinHeap::new(k);
         for h in heaps {

@@ -154,13 +154,14 @@ impl GpuModel {
                     .collect()
             }
         };
-        let mut pairs: Vec<(f32, u32)> =
-            y.into_iter().enumerate().map(|(i, v)| (v, i as u32)).collect();
+        let mut pairs: Vec<(f32, u32)> = y
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u32))
+            .collect();
         radix_sort_desc(&mut pairs);
         pairs.truncate(k);
-        let topk = TopKResult::from_pairs(
-            pairs.into_iter().map(|(s, i)| (i, s as f64)).collect(),
-        );
+        let topk = TopKResult::from_pairs(pairs.into_iter().map(|(s, i)| (i, s as f64)).collect());
         GpuRun {
             topk,
             spmv_seconds: self.spmv_seconds(csr.nnz() as u64, csr.num_rows() as u64, precision),
@@ -225,8 +226,10 @@ mod tests {
     fn f16_is_less_accurate_than_f32() {
         let csr = matrix();
         let x = query_vector(256, 9);
-        let oracle: std::collections::HashSet<u32> =
-            exact_topk(&csr, x.as_slice(), 100).indices().into_iter().collect();
+        let oracle: std::collections::HashSet<u32> = exact_topk(&csr, x.as_slice(), 100)
+            .indices()
+            .into_iter()
+            .collect();
         let gpu = GpuModel::tesla_p100();
         let hits = |p: GpuPrecision| {
             gpu.run(&csr, x.as_slice(), 100, p)

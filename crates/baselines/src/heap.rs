@@ -168,7 +168,9 @@ mod tests {
         let mut all: Vec<(u32, f64)> = Vec::new();
         let mut state = 12345u64;
         for i in 0..1000u32 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let score = (state >> 11) as f64 / (1u64 << 53) as f64;
             h.push(i, score);
             all.push((i, score));

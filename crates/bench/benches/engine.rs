@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tkspmv::{quantize_vector, run_core, Fidelity};
-use tkspmv_fixed::{Q1_19, Q1_31, F32};
+use tkspmv_fixed::{F32, Q1_19, Q1_31};
 use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
 use tkspmv_sparse::{BsCsr, Csr, PacketLayout};
 

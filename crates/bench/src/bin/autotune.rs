@@ -19,7 +19,13 @@ fn main() {
     );
     for spec in group_representatives() {
         let csr = spec.generate(cli.config.scale_divisor);
-        match choose_precision(&csr, target, 4000.min(csr.num_rows()), cli.config.queries, cli.config.seed) {
+        match choose_precision(
+            &csr,
+            target,
+            4000.min(csr.num_rows()),
+            cli.config.queries,
+            cli.config.seed,
+        ) {
             Ok(outcome) => {
                 println!("{}:", spec.group.label());
                 for (p, q, gnnz) in &outcome.candidates {
@@ -29,7 +35,11 @@ fn main() {
                         q.precision,
                         q.ndcg,
                         gnnz,
-                        if *p == outcome.selected { "  <- selected" } else { "" }
+                        if *p == outcome.selected {
+                            "  <- selected"
+                        } else {
+                            ""
+                        }
                     );
                 }
             }

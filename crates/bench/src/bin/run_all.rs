@@ -18,8 +18,7 @@ fn main() {
     println!("--- Table I ---");
     print!(
         "{}",
-        precision_table::to_table(&precision_table::run(cli.trials, cli.config.seed))
-            .to_markdown()
+        precision_table::to_table(&precision_table::run(cli.trials, cli.config.seed)).to_markdown()
     );
     println!("\n--- Table II ---");
     print!(

@@ -100,8 +100,17 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let cli = parse(&["--scale", "10", "--queries", "3", "--trials", "500", "--seed", "9"])
-            .unwrap();
+        let cli = parse(&[
+            "--scale",
+            "10",
+            "--queries",
+            "3",
+            "--trials",
+            "500",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
         assert_eq!(cli.config.scale_divisor, 10);
         assert_eq!(cli.config.queries, 3);
         assert_eq!(cli.trials, 500);

@@ -7,7 +7,7 @@
 //! multi-core engine and return ranked results with a performance model
 //! report ([`Accelerator::query`]).
 
-use tkspmv_fixed::{Half, Precision, Q1_19, Q1_24, Q1_31, F32};
+use tkspmv_fixed::{Half, Precision, F32, Q1_19, Q1_24, Q1_31};
 use tkspmv_hw::{ChannelModel, DesignPoint, HbmConfig, ResourceModel, UramBudget};
 use tkspmv_sparse::{BsCsr, Csr, DenseVector, PacketLayout};
 
@@ -280,15 +280,11 @@ impl Accelerator {
         let covered = self.config.k * matrix.partitions.len();
         if covered < big_k {
             return Err(EngineError::BadQuery {
-                detail: format!(
-                    "k*c = {covered} cannot cover K = {big_k}; raise k or partitions"
-                ),
+                detail: format!("k*c = {covered} cannot cover K = {big_k}; raise k or partitions"),
             });
         }
         let fidelity = match self.config.rows_per_packet {
-            Some(r) => Fidelity::Faithful {
-                rows_per_packet: r,
-            },
+            Some(r) => Fidelity::Faithful { rows_per_packet: r },
             None => Fidelity::Faithful {
                 rows_per_packet: matrix.design.r,
             },
@@ -390,7 +386,9 @@ impl Accelerator {
     }
 
     fn channel_model(&self, design: &DesignPoint) -> ChannelModel {
-        self.config.hbm.channel_model(self.resources.clock_hz(design))
+        self.config
+            .hbm
+            .channel_model(self.resources.clock_hz(design))
     }
 }
 

@@ -41,7 +41,10 @@ use crate::math::hypergeometric_pmf;
 /// assert!((0.92..0.96).contains(&p100));
 /// ```
 pub fn expected_precision(n: u64, c: u64, k: u64, big_k: u64) -> f64 {
-    assert!(n > 0 && c > 0 && k > 0 && big_k > 0, "parameters must be positive");
+    assert!(
+        n > 0 && c > 0 && k > 0 && big_k > 0,
+        "parameters must be positive"
+    );
     assert!(c <= n, "more partitions than rows");
     let part = n / c;
     if big_k <= k {
@@ -63,15 +66,11 @@ pub fn expected_precision(n: u64, c: u64, k: u64, big_k: u64) -> f64 {
 /// # Panics
 ///
 /// Panics if any parameter is zero, `c > n`, or `trials == 0`.
-pub fn monte_carlo_precision(
-    n: u64,
-    c: u64,
-    k: u64,
-    big_k: u64,
-    trials: u32,
-    seed: u64,
-) -> f64 {
-    assert!(n > 0 && c > 0 && k > 0 && big_k > 0, "parameters must be positive");
+pub fn monte_carlo_precision(n: u64, c: u64, k: u64, big_k: u64, trials: u32, seed: u64) -> f64 {
+    assert!(
+        n > 0 && c > 0 && k > 0 && big_k > 0,
+        "parameters must be positive"
+    );
     assert!(c <= n, "more partitions than rows");
     assert!(trials > 0, "need at least one trial");
     let mut rng = Rng64::new(seed);

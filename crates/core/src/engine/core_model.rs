@@ -157,7 +157,8 @@ pub fn run_core<S: SpmvScalar>(
     // The encoder terminates every row inside some packet, so no carry
     // can survive the stream.
     debug_assert_eq!(
-        current_row as usize, matrix.num_rows(),
+        current_row as usize,
+        matrix.num_rows(),
         "all rows must finish by end of stream"
     );
 
@@ -176,7 +177,7 @@ pub fn quantize_vector<S: SpmvScalar>(x: &[f32]) -> Vec<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tkspmv_fixed::{Q1_19, Q1_31, F32};
+    use tkspmv_fixed::{F32, Q1_19, Q1_31};
     use tkspmv_sparse::{Csr, PacketLayout};
 
     fn encode20(csr: &Csr) -> BsCsr {
@@ -242,12 +243,8 @@ mod tests {
 
     #[test]
     fn f32_core_matches_f32_reference() {
-        let csr = Csr::from_triplets(
-            2,
-            4,
-            &[(0, 0, 0.1), (0, 1, 0.2), (1, 2, 0.3), (1, 3, 0.4)],
-        )
-        .unwrap();
+        let csr = Csr::from_triplets(2, 4, &[(0, 0, 0.1), (0, 1, 0.2), (1, 2, 0.3), (1, 3, 0.4)])
+            .unwrap();
         let layout = PacketLayout::solve(4, 32).unwrap();
         let bs = BsCsr::encode::<F32>(&csr, layout);
         let x = [0.5f32, 0.5, 0.5, 0.5];

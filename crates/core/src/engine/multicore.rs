@@ -58,9 +58,7 @@ pub fn run_multicore<S: SpmvScalar>(
                     let globalised: Vec<(u32, f64)> = out
                         .topk
                         .into_iter()
-                        .map(|(local, acc)| {
-                            (local + *first_row as u32, S::acc_to_f64(acc))
-                        })
+                        .map(|(local, acc)| (local + *first_row as u32, S::acc_to_f64(acc)))
                         .collect();
                     (globalised, out.stats)
                 })
@@ -105,8 +103,11 @@ mod tests {
 
     fn exact_topk(csr: &Csr, x: &[f32], k: usize) -> Vec<u32> {
         let y = csr.spmv_exact(x);
-        let mut pairs: Vec<(u32, f64)> =
-            y.into_iter().enumerate().map(|(i, v)| (i as u32, v)).collect();
+        let mut pairs: Vec<(u32, f64)> = y
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v))
+            .collect();
         pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         pairs.truncate(k);
         pairs.into_iter().map(|(i, _)| i).collect()

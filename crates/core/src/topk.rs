@@ -244,7 +244,10 @@ mod tests {
         for (i, v) in [(5u32, 0.5), (1, 0.5), (9, 0.9), (2, 0.1)] {
             t.insert(i, v);
         }
-        assert_eq!(t.into_sorted(), vec![(9, 0.9), (1, 0.5), (5, 0.5), (2, 0.1)]);
+        assert_eq!(
+            t.into_sorted(),
+            vec![(9, 0.9), (1, 0.5), (5, 0.5), (2, 0.1)]
+        );
     }
 
     #[test]

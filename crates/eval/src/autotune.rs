@@ -152,14 +152,8 @@ mod tests {
 
     #[test]
     fn picks_a_fast_design_meeting_strict_target() {
-        let outcome = choose_precision(
-            &collection(),
-            AccuracyTarget::strict(),
-            2000,
-            3,
-            42,
-        )
-        .unwrap();
+        let outcome =
+            choose_precision(&collection(), AccuracyTarget::strict(), 2000, 3, 42).unwrap();
         assert_eq!(outcome.candidates.len(), 4);
         // All four designs are accurate on this data; the fastest is the
         // 20-bit one (highest B).

@@ -239,9 +239,18 @@ mod tests {
     fn registry_has_19_matrices_like_table3() {
         let specs = table3_specs();
         assert_eq!(specs.len(), 19);
-        let uniform = specs.iter().filter(|s| s.kind == DatasetKind::Uniform).count();
-        let gamma = specs.iter().filter(|s| s.kind == DatasetKind::Gamma).count();
-        let glove = specs.iter().filter(|s| s.kind == DatasetKind::Glove).count();
+        let uniform = specs
+            .iter()
+            .filter(|s| s.kind == DatasetKind::Uniform)
+            .count();
+        let gamma = specs
+            .iter()
+            .filter(|s| s.kind == DatasetKind::Gamma)
+            .count();
+        let glove = specs
+            .iter()
+            .filter(|s| s.kind == DatasetKind::Glove)
+            .count();
         assert_eq!((uniform, gamma, glove), (12, 6, 1));
     }
 
@@ -258,9 +267,10 @@ mod tests {
     fn full_nnz_matches_table3_ranges() {
         // Uniform N = 10^7, 20-40 avg nnz -> 2*10^8 to 4*10^8 nnz.
         let specs = table3_specs();
-        for s in specs.iter().filter(|s| {
-            s.group == DatasetGroup::Synthetic1e7 && s.kind == DatasetKind::Uniform
-        }) {
+        for s in specs
+            .iter()
+            .filter(|s| s.group == DatasetGroup::Synthetic1e7 && s.kind == DatasetKind::Uniform)
+        {
             let nnz = s.full_nnz_estimate();
             assert!(
                 (200_000_000..=400_000_000).contains(&nnz),

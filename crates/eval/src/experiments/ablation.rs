@@ -64,10 +64,7 @@ pub fn run_r_sweep(config: &ExpConfig) -> Vec<RSweepRow> {
             let x = query_vector(csr.num_cols(), config.seed + 17 * q as u64);
             let truth = exact_topk(&csr, x.as_slice(), 100);
             let out = acc.query(&m, &x, 100).expect("query runs");
-            samples.push(RankingQuality::score(
-                &out.topk.indices(),
-                truth.entries(),
-            ));
+            samples.push(RankingQuality::score(&out.topk.indices(), truth.entries()));
             dropped += out.core_stats.iter().map(|s| s.rows_dropped).sum::<u64>();
             finished += out
                 .core_stats
@@ -150,7 +147,13 @@ pub fn run_layout_sweep() -> Vec<LayoutRow> {
 
 /// Renders the layout design space.
 pub fn layout_table(rows: &[LayoutRow]) -> Table {
-    let mut t = Table::new(vec!["V (bits)", "M", "B", "OI (nnz/byte)", "padding (bits)"]);
+    let mut t = Table::new(vec![
+        "V (bits)",
+        "M",
+        "B",
+        "OI (nnz/byte)",
+        "padding (bits)",
+    ]);
     for r in rows {
         t.row(vec![
             r.value_bits.to_string(),
@@ -200,7 +203,12 @@ mod tests {
     fn layout_sweep_matches_capacity_equation() {
         let rows = run_layout_sweep();
         // Paper's design points appear in the frontier.
-        let b = |v: u32, m: usize| rows.iter().find(|r| r.value_bits == v && r.m == m).unwrap().b;
+        let b = |v: u32, m: usize| {
+            rows.iter()
+                .find(|r| r.value_bits == v && r.m == m)
+                .unwrap()
+                .b
+        };
         assert_eq!(b(20, 1024), 15);
         assert_eq!(b(25, 1024), 13);
         assert_eq!(b(32, 1024), 11);

@@ -86,9 +86,10 @@ mod tests {
         // Table III: uniform N = 10^7 matrices occupy 0.8 - 1.7 GB in
         // BS-CSR. Extrapolation from 1/1000-scale must land in range.
         let rows = run(&ExpConfig::smoke_test());
-        for r in rows.iter().filter(|r| {
-            r.spec.full_rows == 10_000_000 && r.spec.kind == DatasetKind::Uniform
-        }) {
+        for r in rows
+            .iter()
+            .filter(|r| r.spec.full_rows == 10_000_000 && r.spec.kind == DatasetKind::Uniform)
+        {
             let gb = r.full_bytes as f64 / 1e9;
             assert!(
                 (0.6..2.2).contains(&gb),

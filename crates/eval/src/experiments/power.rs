@@ -60,7 +60,11 @@ pub fn run_from_speedup(row: &SpeedupRow, assumptions: PowerAssumptions) -> Vec<
     // Throughputs implied by the shared CPU baseline time.
     let thr = |speedup: f64| nnz / (row.cpu_seconds / speedup) / 1e9;
     let mut rows = vec![
-        ("CPU (2x Xeon 6248)".to_string(), thr(1.0), assumptions.cpu_w),
+        (
+            "CPU (2x Xeon 6248)".to_string(),
+            thr(1.0),
+            assumptions.cpu_w,
+        ),
         (
             "GPU F32, zero-cost sort".to_string(),
             thr(row.gpu_f32_spmv_only),
@@ -162,18 +166,16 @@ mod tests {
         let cpu = rows.iter().find(|r| r.arch.starts_with("CPU")).unwrap();
         let fpga20 = rows.iter().find(|r| r.arch == "FPGA 20b").unwrap();
         let ratio = fpga20.mnnz_per_watt / cpu.mnnz_per_watt;
-        assert!((300.0..1200.0).contains(&ratio), "FPGA/CPU perf/W = {ratio:.0}");
+        assert!(
+            (300.0..1200.0).contains(&ratio),
+            "FPGA/CPU perf/W = {ratio:.0}"
+        );
     }
 
     #[test]
     fn fixed_point_designs_are_most_efficient() {
         let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default());
-        let get = |name: &str| {
-            rows.iter()
-                .find(|r| r.arch == name)
-                .unwrap()
-                .mnnz_per_watt
-        };
+        let get = |name: &str| rows.iter().find(|r| r.arch == name).unwrap().mnnz_per_watt;
         assert!(get("FPGA 20b") > get("FPGA F32"));
         assert!(get("FPGA 20b") > get("GPU F32, zero-cost sort"));
     }
@@ -185,7 +187,12 @@ mod tests {
         assert!(!to_table(&rows).is_empty());
         // Device powers come from the model, in Table II's range.
         for r in rows.iter().filter(|r| r.arch.starts_with("FPGA")) {
-            assert!((30.0..50.0).contains(&r.device_w), "{}: {}", r.arch, r.device_w);
+            assert!(
+                (30.0..50.0).contains(&r.device_w),
+                "{}: {}",
+                r.arch,
+                r.device_w
+            );
         }
     }
 }

@@ -51,7 +51,11 @@ pub fn run(trials: u32, seed: u64) -> Vec<PrecisionRow> {
 
 /// Renders the rows in Table I's layout.
 pub fn to_table(rows: &[PrecisionRow]) -> Table {
-    let mut header = vec!["N".to_string(), "partitions".to_string(), "method".to_string()];
+    let mut header = vec![
+        "N".to_string(),
+        "partitions".to_string(),
+        "method".to_string(),
+    ];
     header.extend(TABLE1_KS.iter().map(|k| format!("K={k}")));
     let mut t = Table::new(header);
     for row in rows {

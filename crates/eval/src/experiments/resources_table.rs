@@ -41,7 +41,15 @@ pub fn run() -> Vec<ResourceRow> {
 /// Renders rows in Table II's layout (percent utilisation).
 pub fn to_table(rows: &[ResourceRow]) -> Table {
     let mut t = Table::new(vec![
-        "Bit-width", "Cores", "LUT", "FF", "BRAM", "URAM", "DSP", "Clock (MHz)", "Power (W)",
+        "Bit-width",
+        "Cores",
+        "LUT",
+        "FF",
+        "BRAM",
+        "URAM",
+        "DSP",
+        "Clock (MHz)",
+        "Power (W)",
     ]);
     for r in rows {
         t.row(vec![

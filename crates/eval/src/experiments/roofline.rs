@@ -21,10 +21,7 @@ pub fn bandwidth_series() -> Vec<(u32, Vec<(u32, f64)>)> {
         .map(|&cores| {
             let series = (5u32..=15)
                 .map(|b| {
-                    let roof = Roofline::new(
-                        hbm.effective_bandwidth(cores),
-                        b as f64 / 64.0,
-                    );
+                    let roof = Roofline::new(hbm.effective_bandwidth(cores), b as f64 / 64.0);
                     (b, roof.attainable_nnz_per_sec())
                 })
                 .collect();
@@ -82,12 +79,9 @@ pub fn architecture_points(config: &ExpConfig) -> Vec<RooflinePoint> {
             .expect("paper design builds");
         let m = acc.load_matrix(&csr).expect("matrix loads");
         let out = acc.query(&m, &x, 100).expect("query runs");
-        let layout = PacketLayout::solve(csr.num_cols(), precision.value_bits())
-            .expect("layout fits");
-        let roof = Roofline::new(
-            hbm.effective_bandwidth(32),
-            layout.operational_intensity(),
-        );
+        let layout =
+            PacketLayout::solve(csr.num_cols(), precision.value_bits()).expect("layout fits");
+        let roof = Roofline::new(hbm.effective_bandwidth(32), layout.operational_intensity());
         points.push(RooflinePoint {
             label: format!("FPGA, 32C {}", precision.label()),
             operational_intensity: out.perf.operational_intensity(),

@@ -125,9 +125,7 @@ pub fn ndcg(retrieved: &[u32], truth: &[(u32, f64)]) -> f64 {
     let dcg: f64 = retrieved
         .iter()
         .enumerate()
-        .map(|(rank, i)| {
-            remaining.remove(i).unwrap_or(0.0) / ((rank as f64) + 2.0).log2()
-        })
+        .map(|(rank, i)| remaining.remove(i).unwrap_or(0.0) / ((rank as f64) + 2.0).log2())
         .sum();
     // Ideal DCG: truth sorted by score descending (it already is if it
     // comes from an oracle, but do not rely on it).

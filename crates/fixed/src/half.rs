@@ -239,7 +239,11 @@ mod tests {
             if h.is_nan() {
                 assert!(Half::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(Half::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    Half::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }

@@ -42,7 +42,7 @@ mod ufixed;
 pub use half::Half;
 pub use precision::{ParsePrecisionError, Precision};
 pub use quant::{quantization_error, QuantizationReport};
-pub use scalar::{F32, SpmvScalar};
+pub use scalar::{SpmvScalar, F32};
 pub use ufixed::{QFormat, UFixed};
 
 /// Unsigned `Q1.19` fixed point (20 bits total), the most compact format

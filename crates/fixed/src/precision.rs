@@ -67,7 +67,8 @@ impl Precision {
 
     /// The fixed-point format descriptor, or `None` for float modes.
     pub fn q_format(self) -> Option<QFormat> {
-        self.is_fixed_point().then(|| QFormat::new(self.value_bits()))
+        self.is_fixed_point()
+            .then(|| QFormat::new(self.value_bits()))
     }
 
     /// Short label used in the paper's figures (e.g. `"20b"`, `"F32"`).

@@ -59,7 +59,10 @@ pub trait SpmvScalar: Copy + core::fmt::Debug + Send + Sync + 'static {
     /// Convenience: `decode(encode(v))` as `f64` — the value the datapath
     /// actually sees for an input `v`.
     fn round_trip(value: f64) -> f64 {
-        Self::acc_to_f64(Self::mul(Self::decode(Self::encode(value)), Self::decode(Self::encode(1.0))))
+        Self::acc_to_f64(Self::mul(
+            Self::decode(Self::encode(value)),
+            Self::decode(Self::encode(1.0)),
+        ))
     }
 }
 

@@ -265,10 +265,30 @@ mod tests {
 
     /// Table II utilisation percentages: (LUT, FF, BRAM, URAM, DSP).
     const TABLE2: [(Precision, [f64; 5], f64, f64); 4] = [
-        (Precision::Fixed20, [0.38, 0.35, 0.20, 0.33, 0.07], 253.0, 34.0),
-        (Precision::Fixed25, [0.38, 0.36, 0.20, 0.30, 0.11], 240.0, 35.0),
-        (Precision::Fixed32, [0.35, 0.33, 0.20, 0.27, 0.17], 249.0, 35.0),
-        (Precision::Float32, [0.44, 0.37, 0.20, 0.26, 0.19], 204.0, 45.0),
+        (
+            Precision::Fixed20,
+            [0.38, 0.35, 0.20, 0.33, 0.07],
+            253.0,
+            34.0,
+        ),
+        (
+            Precision::Fixed25,
+            [0.38, 0.36, 0.20, 0.30, 0.11],
+            240.0,
+            35.0,
+        ),
+        (
+            Precision::Fixed32,
+            [0.35, 0.33, 0.20, 0.27, 0.17],
+            249.0,
+            35.0,
+        ),
+        (
+            Precision::Float32,
+            [0.44, 0.37, 0.20, 0.26, 0.19],
+            204.0,
+            45.0,
+        ),
     ];
 
     #[test]

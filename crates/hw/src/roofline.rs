@@ -142,8 +142,7 @@ mod tests {
     fn fpga_design_is_memory_bound() {
         // Compute ceiling: 32 cores x 15 nnz x 253 MHz = 121 GNNZ/s,
         // above the 99 GNNZ/s bandwidth bound.
-        let r = Roofline::new(422.4e9, 15.0 / 64.0)
-            .with_compute_ceiling(32.0 * 15.0 * 253.0e6);
+        let r = Roofline::new(422.4e9, 15.0 / 64.0).with_compute_ceiling(32.0 * 15.0 * 253.0e6);
         assert!(r.is_memory_bound());
     }
 

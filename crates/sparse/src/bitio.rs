@@ -60,7 +60,11 @@ impl BitWriter {
             let word = self.pos / 64;
             let offset = (self.pos % 64) as u32;
             let take = remaining.min(64 - offset);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.packet.words_mut()[word] |= (value & mask) << offset;
             value = if take == 64 { 0 } else { value >> take };
             self.pos += take as usize;
@@ -118,7 +122,11 @@ impl<'a> BitReader<'a> {
             let word = self.pos / 64;
             let offset = (self.pos % 64) as u32;
             let take = (bits - got).min(64 - offset);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             let chunk = (self.packet.words()[word] >> offset) & mask;
             out |= chunk << got;
             got += take;

@@ -107,10 +107,7 @@ impl BsCsr {
                 w.write(ends.get(j).copied().unwrap_or(0), layout.ptr_bits());
             }
             for j in 0..b {
-                w.write(
-                    chunk.get(j).map_or(0, |e| e.0 as u64),
-                    layout.idx_bits(),
-                );
+                w.write(chunk.get(j).map_or(0, |e| e.0 as u64), layout.idx_bits());
             }
             for j in 0..b {
                 w.write(chunk.get(j).map_or(0, |e| e.1), layout.value_bits());
@@ -411,7 +408,7 @@ impl Iterator for PacketEntries<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tkspmv_fixed::{Q1_19, Q1_31, F32};
+    use tkspmv_fixed::{F32, Q1_19, Q1_31};
 
     fn layout20(cols: usize) -> PacketLayout {
         PacketLayout::solve(cols, 20).unwrap()
@@ -467,8 +464,7 @@ mod tests {
     #[test]
     fn row_ending_exactly_at_packet_boundary() {
         // Row 0 has exactly 15 entries (= B), row 1 follows.
-        let mut triplets: Vec<(u32, u32, f32)> =
-            (0..15).map(|c| (0, c, 0.01)).collect();
+        let mut triplets: Vec<(u32, u32, f32)> = (0..15).map(|c| (0, c, 0.01)).collect();
         triplets.push((1, 0, 0.5));
         let csr = Csr::from_triplets(2, 1024, &triplets).unwrap();
         let bs = BsCsr::encode::<Q1_19>(&csr, layout20(1024));

@@ -175,9 +175,8 @@ mod tests {
 
     #[test]
     fn csr_round_trip() {
-        let coo =
-            Coo::from_triplets(4, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (3, 0, 4.0)])
-                .unwrap();
+        let coo = Coo::from_triplets(4, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 1, 3.0), (3, 0, 4.0)])
+            .unwrap();
         let csr = coo.to_csr();
         assert_eq!(csr.num_rows(), 4);
         assert_eq!(csr.nnz(), 4);

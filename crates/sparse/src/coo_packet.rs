@@ -98,7 +98,10 @@ impl CooPackets {
         assert_eq!(value_bits, S::VALUE_BITS, "value width mismatch");
         let b = kind.entries_per_packet() as usize;
         let entries: Vec<(u32, u32, u64)> = (0..csr.num_rows())
-            .flat_map(|r| csr.row(r).map(move |(c, v)| (r as u32, c, S::encode(v as f64))))
+            .flat_map(|r| {
+                csr.row(r)
+                    .map(move |(c, v)| (r as u32, c, S::encode(v as f64)))
+            })
             .collect();
         let mut packets = Vec::with_capacity(entries.len().div_ceil(b));
         for chunk in entries.chunks(b) {
@@ -213,7 +216,7 @@ impl CooPackets {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tkspmv_fixed::{Q1_19, F32};
+    use tkspmv_fixed::{F32, Q1_19};
 
     #[test]
     fn figure3_packing_counts() {

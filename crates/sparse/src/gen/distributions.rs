@@ -123,9 +123,7 @@ impl Gamma {
             }
             let u = rng.next_f64();
             // Squeeze check, then full acceptance check.
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * self.scale;
             }
         }
@@ -142,8 +140,7 @@ mod tests {
         let mut n = Normal::new(2.0, 3.0);
         let samples: Vec<f64> = (0..200_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((var - 9.0).abs() < 0.2, "var {var}");
     }
@@ -156,8 +153,7 @@ mod tests {
         assert_eq!(g.mean(), 4.0);
         let samples: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
         assert!((var - 16.0 / 3.0).abs() < 0.2, "var {var}");
     }
@@ -170,10 +166,12 @@ mod tests {
         assert!(samples.iter().all(|&x| x > 0.0));
         // Skewness of Gamma(k) is 2/sqrt(k) ≈ 1.15 > 0.
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
-        let skew = samples.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>()
+        let std =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
+        let skew = samples
+            .iter()
+            .map(|x| ((x - mean) / std).powi(3))
+            .sum::<f64>()
             / samples.len() as f64;
         assert!(skew > 0.8, "skew {skew}");
     }

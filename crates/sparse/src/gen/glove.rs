@@ -106,8 +106,8 @@ impl GloveConfig {
             // Row density varies around the target like real sparsified
             // corpora (Table III GloVe nnz spans ~2x).
             let jitter = 0.7 + 0.6 * rng.next_f64();
-            let keep = ((self.avg_nnz_per_row as f64 * jitter).round() as usize)
-                .clamp(1, scratch.len());
+            let keep =
+                ((self.avg_nnz_per_row as f64 * jitter).round() as usize).clamp(1, scratch.len());
             scratch.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
             scratch.truncate(keep);
             scratch.sort_unstable_by_key(|&(_, c)| c);
@@ -183,7 +183,11 @@ mod tests {
             let overlap = first.iter().filter(|c| other.contains(c)).count();
             best = best.max(overlap);
         }
-        assert!(best >= first.len() / 2, "max overlap {best} of {}", first.len());
+        assert!(
+            best >= first.len() / 2,
+            "max overlap {best} of {}",
+            first.len()
+        );
     }
 
     #[test]

@@ -61,10 +61,7 @@ pub fn sparsify_batch(dense: &[Vec<f32>], nnz_per_row: usize) -> Result<Csr, Spa
     for (i, row) in dense.iter().enumerate() {
         if row.len() != num_cols {
             return Err(SparseError::DimensionTooLarge {
-                detail: format!(
-                    "row {i} has {} entries, expected {num_cols}",
-                    row.len()
-                ),
+                detail: format!("row {i} has {} entries, expected {num_cols}", row.len()),
             });
         }
         scratch.clear();
@@ -83,7 +80,11 @@ pub fn sparsify_batch(dense: &[Vec<f32>], nnz_per_row: usize) -> Result<Csr, Spa
             .sqrt();
         for &(v, c) in &scratch {
             col_idx.push(c);
-            values.push(if norm > 0.0 { (v as f64 / norm) as f32 } else { v });
+            values.push(if norm > 0.0 {
+                (v as f64 / norm) as f32
+            } else {
+                v
+            });
         }
         row_ptr.push(col_idx.len() as u64);
     }
@@ -129,7 +130,11 @@ mod tests {
     #[test]
     fn output_is_non_negative_and_normalised() {
         let dense: Vec<Vec<f32>> = (0..20)
-            .map(|i| (0..64).map(|j| ((i * 31 + j * 7) % 13) as f32 - 6.0).collect())
+            .map(|i| {
+                (0..64)
+                    .map(|j| ((i * 31 + j * 7) % 13) as f32 - 6.0)
+                    .collect()
+            })
             .collect();
         let csr = sparsify_batch(&dense, 10).unwrap();
         assert!(csr.values().iter().all(|&v| v >= 0.0));

@@ -226,7 +226,13 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, ReadMtxError> {
 pub fn write_mtx<W: Write>(mut writer: W, csr: &Csr) -> std::io::Result<()> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "% written by tkspmv")?;
-    writeln!(writer, "{} {} {}", csr.num_rows(), csr.num_cols(), csr.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        csr.num_rows(),
+        csr.num_cols(),
+        csr.nnz()
+    )?;
     for r in 0..csr.num_rows() {
         for (c, v) in csr.row(r) {
             writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
@@ -279,8 +285,9 @@ mod tests {
         // Wrong banner.
         assert!(read_mtx("hello\n1 1 0\n".as_bytes()).is_err());
         // Unsupported format.
-        assert!(read_mtx("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes())
-            .is_err());
+        assert!(
+            read_mtx("%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()).is_err()
+        );
         // Symmetric not supported.
         assert!(read_mtx(
             "%%MatrixMarket matrix coordinate real symmetric\n1 1 1\n1 1 1.0\n".as_bytes()
@@ -307,17 +314,17 @@ mod tests {
 
     #[test]
     fn error_display_carries_line_numbers() {
-        let err = read_mtx(
-            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 0.5\n".as_bytes(),
-        )
-        .unwrap_err();
+        let err =
+            read_mtx("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 0.5\n".as_bytes())
+                .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 3"), "{msg}");
     }
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = "\n%%MatrixMarket matrix coordinate real general\n% c1\n\n2 2 1\n% c2\n1 1 0.5\n";
+        let text =
+            "\n%%MatrixMarket matrix coordinate real general\n% c1\n\n2 2 1\n% c2\n1 1 0.5\n";
         let csr = read_mtx(text.as_bytes()).unwrap();
         assert_eq!(csr.nnz(), 1);
     }

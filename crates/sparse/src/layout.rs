@@ -173,8 +173,14 @@ mod tests {
     #[test]
     fn layout_for_25_and_32_bit_designs() {
         // V = 25 -> B = 13; V = 32 -> B = 11 (M = 1024).
-        assert_eq!(PacketLayout::solve(1024, 25).unwrap().entries_per_packet(), 13);
-        assert_eq!(PacketLayout::solve(1024, 32).unwrap().entries_per_packet(), 11);
+        assert_eq!(
+            PacketLayout::solve(1024, 25).unwrap().entries_per_packet(),
+            13
+        );
+        assert_eq!(
+            PacketLayout::solve(1024, 32).unwrap().entries_per_packet(),
+            11
+        );
     }
 
     #[test]

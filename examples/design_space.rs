@@ -18,13 +18,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uram = UramBudget::alveo_u280();
 
     println!("1) the paper's four designs on the U280 (M = 1024):\n");
-    println!("   design | B  | cores | clock MHz | power W | attainable GNNZ/s | max cores (fabric)");
+    println!(
+        "   design | B  | cores | clock MHz | power W | attainable GNNZ/s | max cores (fabric)"
+    );
     for precision in Precision::FPGA_DESIGNS {
         let d = DesignPoint::paper_design(precision);
         let clock = model.clock_hz(&d);
         let layout = PacketLayout::solve(d.m, precision.value_bits())?;
-        let roof = Roofline::new(hbm.effective_bandwidth(d.cores), layout.operational_intensity())
-            .with_compute_ceiling(d.cores as f64 * d.b as f64 * clock);
+        let roof = Roofline::new(
+            hbm.effective_bandwidth(d.cores),
+            layout.operational_intensity(),
+        )
+        .with_compute_ceiling(d.cores as f64 * d.b as f64 * clock);
         println!(
             "   {:>6} | {:>2} | {:>5} | {:>9.0} | {:>7.1} | {:>17.1} | {}",
             precision.label(),

@@ -74,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for user in &users {
             let truth = exact_topk(&catalogue, user.as_slice(), k);
             let out = acc.query(&matrix, user, k)?;
-            precision_sum +=
-                RankingQuality::score(&out.topk.indices(), truth.entries()).precision;
+            precision_sum += RankingQuality::score(&out.topk.indices(), truth.entries()).precision;
         }
         let analytic = expected_precision(catalogue.num_rows() as u64, cores as u64, 8, k as u64);
         println!(

@@ -36,10 +36,17 @@ fn measured_precision_tracks_theory() {
     let mut total = 0.0;
     for q in 0..queries {
         let x = query_vector(256, 1000 + q);
-        let truth: std::collections::HashSet<u32> =
-            exact_topk(&csr, x.as_slice(), big_k).indices().into_iter().collect();
+        let truth: std::collections::HashSet<u32> = exact_topk(&csr, x.as_slice(), big_k)
+            .indices()
+            .into_iter()
+            .collect();
         let got = acc.query(&m, &x, big_k).unwrap();
-        let hits = got.topk.indices().iter().filter(|i| truth.contains(i)).count();
+        let hits = got
+            .topk
+            .indices()
+            .iter()
+            .filter(|i| truth.contains(i))
+            .count();
         total += hits as f64 / big_k as f64;
     }
     let measured = total / queries as f64;
@@ -106,10 +113,17 @@ fn increasing_cores_improves_accuracy_monotonically() {
         let queries = 20;
         for q in 0..queries {
             let x = query_vector(256, 7000 + q);
-            let truth: std::collections::HashSet<u32> =
-                exact_topk(&csr, x.as_slice(), big_k).indices().into_iter().collect();
+            let truth: std::collections::HashSet<u32> = exact_topk(&csr, x.as_slice(), big_k)
+                .indices()
+                .into_iter()
+                .collect();
             let got = acc.query(&m, &x, big_k).unwrap();
-            total += got.topk.indices().iter().filter(|i| truth.contains(i)).count() as f64
+            total += got
+                .topk
+                .indices()
+                .iter()
+                .filter(|i| truth.contains(i))
+                .count() as f64
                 / big_k as f64;
         }
         let mean = total / queries as f64;

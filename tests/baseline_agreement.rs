@@ -38,7 +38,10 @@ fn gpu_f32_matches_oracle_set() {
     for q in 0..5u64 {
         let x = query_vector(256, 50 + q);
         let mut oracle = exact_topk(&csr, x.as_slice(), 64).indices();
-        let mut got = gpu.run(&csr, x.as_slice(), 64, GpuPrecision::F32).topk.indices();
+        let mut got = gpu
+            .run(&csr, x.as_slice(), 64, GpuPrecision::F32)
+            .topk
+            .indices();
         oracle.sort_unstable();
         got.sort_unstable();
         // f32 vs f64 summation can swap near-equal boundary items; the
@@ -117,7 +120,11 @@ fn timing_sources_are_labelled_consistently() {
     let x = query_vector(256, 2);
 
     let gpu = GpuModel::tesla_p100();
-    let t_small = gpu.topk_seconds(small.nnz() as u64, small.num_rows() as u64, GpuPrecision::F32);
+    let t_small = gpu.topk_seconds(
+        small.nnz() as u64,
+        small.num_rows() as u64,
+        GpuPrecision::F32,
+    );
     let t_big = gpu.topk_seconds(big.nnz() as u64, big.num_rows() as u64, GpuPrecision::F32);
     assert!(t_big > t_small);
 

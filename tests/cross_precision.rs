@@ -44,9 +44,23 @@ fn wider_fixed_point_is_at_least_as_accurate() {
     let q25 = mean_quality(Precision::Fixed25, &csr, 100);
     let q32 = mean_quality(Precision::Fixed32, &csr, 100);
     // Allow tiny non-monotonicity from tie-breaks; the trend must hold.
-    assert!(q25.ndcg >= q20.ndcg - 0.005, "25b {} vs 20b {}", q25.ndcg, q20.ndcg);
-    assert!(q32.ndcg >= q25.ndcg - 0.005, "32b {} vs 25b {}", q32.ndcg, q25.ndcg);
-    assert!(q20.precision > 0.95, "even 20-bit stays high: {}", q20.precision);
+    assert!(
+        q25.ndcg >= q20.ndcg - 0.005,
+        "25b {} vs 20b {}",
+        q25.ndcg,
+        q20.ndcg
+    );
+    assert!(
+        q32.ndcg >= q25.ndcg - 0.005,
+        "32b {} vs 25b {}",
+        q32.ndcg,
+        q25.ndcg
+    );
+    assert!(
+        q20.precision > 0.95,
+        "even 20-bit stays high: {}",
+        q20.precision
+    );
 }
 
 #[test]

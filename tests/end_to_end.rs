@@ -47,9 +47,7 @@ fn paper_design_reaches_97_percent_precision() {
             let x = query_vector(csr.num_cols(), 900 + q);
             let truth = exact_topk(&csr, x.as_slice(), 100);
             let out = acc.query(&m, &x, 100).unwrap();
-            precisions.push(
-                RankingQuality::score(&out.topk.indices(), truth.entries()).precision,
-            );
+            precisions.push(RankingQuality::score(&out.topk.indices(), truth.entries()).precision);
         }
         let mean = precisions.iter().sum::<f64>() / precisions.len() as f64;
         assert!(mean > 0.95, "mean precision {mean}");
@@ -94,7 +92,11 @@ fn all_precisions_complete_with_sane_results() {
         let out = acc.query(&m, &x, 50).unwrap();
         assert_eq!(out.topk.len(), 50, "{precision:?}");
         let q = RankingQuality::score(&out.topk.indices(), truth.entries());
-        assert!(q.precision > 0.85, "{precision:?}: precision {}", q.precision);
+        assert!(
+            q.precision > 0.85,
+            "{precision:?}: precision {}",
+            q.precision
+        );
         // Scores must be descending and in [0, ~1].
         let scores = out.topk.scores();
         assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{precision:?}");
@@ -113,7 +115,11 @@ fn performance_report_is_consistent() {
     assert!(perf.kernel_seconds > 0.0);
     assert!(perf.seconds > perf.kernel_seconds, "host overhead added");
     // Total packets match the loaded partitions.
-    let expect: u64 = m.partitions.iter().map(|(_, p)| p.num_packets() as u64).sum();
+    let expect: u64 = m
+        .partitions
+        .iter()
+        .map(|(_, p)| p.num_packets() as u64)
+        .sum();
     assert_eq!(perf.total_packets, expect);
     // Bytes = packets * 64.
     assert_eq!(perf.bytes_streamed(), expect * 64);

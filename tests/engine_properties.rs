@@ -4,25 +4,24 @@
 
 use proptest::prelude::*;
 use tkspmv::{quantize_vector, run_core, Fidelity, TopKTracker};
-use tkspmv_fixed::{Q1_31, SpmvScalar, F32};
+use tkspmv_fixed::{SpmvScalar, F32, Q1_31};
 use tkspmv_sparse::{BsCsr, Csr, PacketLayout};
 
 /// A random matrix plus a random non-negative query vector.
 fn arb_problem() -> impl Strategy<Value = (Csr, Vec<f32>)> {
-    (1usize..30, 2usize..120)
-        .prop_flat_map(|(rows, cols)| {
-            let matrix = proptest::collection::btree_set((0..rows as u32, 0..cols as u32), 0..150)
-                .prop_map(move |coords| {
-                    let triplets: Vec<(u32, u32, f32)> = coords
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, (r, c))| (r, c, ((i * 7 % 97) + 1) as f32 / 100.0))
-                        .collect();
-                    Csr::from_triplets(rows, cols, &triplets).expect("valid")
-                });
-            let query = proptest::collection::vec(0.0f32..1.0, cols..=cols);
-            (matrix, query)
-        })
+    (1usize..30, 2usize..120).prop_flat_map(|(rows, cols)| {
+        let matrix = proptest::collection::btree_set((0..rows as u32, 0..cols as u32), 0..150)
+            .prop_map(move |coords| {
+                let triplets: Vec<(u32, u32, f32)> = coords
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, c))| (r, c, ((i * 7 % 97) + 1) as f32 / 100.0))
+                    .collect();
+                Csr::from_triplets(rows, cols, &triplets).expect("valid")
+            });
+        let query = proptest::collection::vec(0.0f32..1.0, cols..=cols);
+        (matrix, query)
+    })
 }
 
 proptest! {

@@ -1,7 +1,7 @@
 //! Property-based round-trip tests for the storage formats.
 
 use proptest::prelude::*;
-use tkspmv_fixed::{Q1_19, Q1_24, Q1_31, F32};
+use tkspmv_fixed::{F32, Q1_19, Q1_24, Q1_31};
 use tkspmv_sparse::{BsCsr, CooPacketKind, CooPackets, Csr, PacketLayout};
 
 /// Strategy: a random sparse matrix as sorted unique triplets with

@@ -45,7 +45,10 @@ fn kernel_time_scales_inverse_with_cores() {
     let t8 = kernel_seconds(&csr, Precision::Fixed20, 8);
     let t32 = kernel_seconds(&csr, Precision::Fixed20, 32);
     let speedup = t8 / t32;
-    assert!((3.0..5.0).contains(&speedup), "8 -> 32 cores speedup {speedup}");
+    assert!(
+        (3.0..5.0).contains(&speedup),
+        "8 -> 32 cores speedup {speedup}"
+    );
 }
 
 #[test]

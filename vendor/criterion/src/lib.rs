@@ -1,0 +1,224 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so the benches under
+//! `crates/bench/benches/` link against this minimal re-implementation
+//! of the API subset they use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: one warm-up call sizes an
+//! iteration batch targeting ~100 ms, the batch is timed once, and the
+//! mean time per iteration (plus throughput, when declared) is printed.
+//! There is no statistical analysis, outlier rejection, or HTML report;
+//! numbers are indicative, not publication-grade.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting
+/// benchmarked work (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count (~100 ms of work, capped at 10k
+    /// iterations), runs it, and records mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_start = Instant::now();
+        std_black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters_done as u32
+        }
+    }
+}
+
+/// Top-level harness state; one per process.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs, enabling
+    /// elements/sec or bytes/sec reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to it.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; this exists for
+    /// API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = b.mean();
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let per_iter = mean.as_secs_f64();
+        let rate = self.throughput.and_then(|t| match t {
+            _ if per_iter == 0.0 => None,
+            Throughput::Elements(n) => Some(format!("{:.3e} elem/s", n as f64 / per_iter)),
+            Throughput::Bytes(n) => Some(format!("{:.3e} B/s", n as f64 / per_iter)),
+        });
+        match rate {
+            Some(rate) => println!("{label:<40} {mean:>12.3?}/iter  {rate}"),
+            None => println!("{label:<40} {mean:>12.3?}/iter"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,136 @@
+//! Case loop, configuration, and the deterministic RNG.
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases (`prop_assume!`) before the test
+    /// errors out as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases with the default reject budget.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Non-panicking outcome of a single case body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case does not apply (`prop_assume!` failed); draw another.
+    Reject(String),
+    /// The property is violated; abort the test.
+    Fail(String),
+}
+
+/// Deterministic SplitMix64 stream seeding each test's generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from `PROPTEST_SEED` when set, otherwise from a hash of
+    /// the test name, so every test draws an independent stream and
+    /// failures reproduce across runs.
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + (self.next_u64() % (hi - lo))
+    }
+
+    /// Uniform draw in `[lo, hi]`, valid for the full `u64` domain.
+    pub fn below_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi >= lo);
+        let span = (hi - lo) as u128 + 1;
+        lo + (self.next_u64() as u128 % span) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[0, 1]`.
+    pub fn unit_f64_inclusive(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property test: draws cases until `config.cases` succeed,
+/// panicking on the first failure with the formatted input.
+///
+/// `case` returns the `Debug` rendering of the drawn input alongside
+/// the body's outcome, so failures print their counterexample.
+pub fn run<F>(config: &Config, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut rng = TestRng::for_test(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let (input, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{name}: exceeded {} rejected cases (only {passed}/{} ran); \
+                         the strategy rarely satisfies its prop_assume!",
+                        config.max_global_rejects, config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property failed after {passed} passing cases: {msg}\ninput: {input}"
+                );
+            }
+        }
+    }
+}
