@@ -9,10 +9,11 @@
 
 use std::time::Instant;
 
-use tkspmv_sparse::Csr;
+use tkspmv_sparse::{Csr, DenseVector};
 
 use crate::heap::BoundedMinHeap;
-use tkspmv::TopKResult;
+use tkspmv::backend::{BackendPerf, BackendStats, PreparedMatrix, QueryResult, TopKBackend};
+use tkspmv::{EngineError, TopKResult};
 
 /// Exact multi-threaded CPU Top-K SpMV.
 ///
@@ -117,6 +118,48 @@ impl CpuTopK {
     }
 }
 
+impl TopKBackend for CpuTopK {
+    fn name(&self) -> String {
+        "cpu".to_string()
+    }
+
+    fn prepare(&self, csr: &Csr) -> Result<PreparedMatrix, EngineError> {
+        if csr.num_rows() == 0 {
+            return Err(EngineError::empty_matrix());
+        }
+        Ok(PreparedMatrix::new(
+            self.name(),
+            csr.num_rows(),
+            csr.num_cols(),
+            csr.nnz() as u64,
+            csr.clone(),
+        ))
+    }
+
+    fn query(
+        &self,
+        matrix: &PreparedMatrix,
+        x: &DenseVector,
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
+        let csr: &Csr = matrix.downcast(&self.name())?;
+        if x.len() != csr.num_cols() {
+            return Err(EngineError::vector_length_mismatch(x.len(), csr.num_cols()));
+        }
+        if k == 0 {
+            return Err(EngineError::zero_big_k());
+        }
+        let run = self.run_timed(csr, x.as_slice(), k);
+        Ok(QueryResult {
+            topk: run.topk,
+            perf: BackendPerf::measured(run.seconds, csr.nnz() as u64),
+            stats: BackendStats::Cpu {
+                threads: run.threads,
+            },
+        })
+    }
+}
+
 /// The exact Top-K oracle in `f64` — ground truth for every accuracy
 /// metric in the evaluation (single-threaded, unambiguous).
 pub fn exact_topk(csr: &Csr, x: &[f32], k: usize) -> TopKResult {
@@ -185,5 +228,33 @@ mod tests {
     fn wrong_vector_length_panics() {
         let csr = Csr::from_triplets(1, 2, &[(0, 0, 0.5)]).unwrap();
         let _ = CpuTopK::new(1).run(&csr, &[1.0], 1);
+    }
+
+    #[test]
+    fn backend_trait_matches_direct_calls() {
+        let csr = matrix(4);
+        let x = query_vector(256, 8);
+        let backend: &dyn TopKBackend = &CpuTopK::new(2);
+        assert_eq!(backend.name(), "cpu");
+        let prepared = backend.prepare(&csr).unwrap();
+        let out = backend.query(&prepared, &x, 25).unwrap();
+        let direct = CpuTopK::new(2).run(&csr, x.as_slice(), 25);
+        assert_eq!(out.topk, direct);
+        assert!(out.perf.seconds > 0.0);
+        assert_eq!(out.perf.nnz, csr.nnz() as u64);
+        assert!(matches!(out.stats, BackendStats::Cpu { threads: 2 }));
+    }
+
+    #[test]
+    fn backend_trait_validates_fallibly() {
+        let csr = matrix(5);
+        let backend: &dyn TopKBackend = &CpuTopK::new(2);
+        let prepared = backend.prepare(&csr).unwrap();
+        // Wrong length and zero K are errors through the trait, not
+        // panics as in the raw API.
+        assert!(backend.query(&prepared, &query_vector(99, 1), 5).is_err());
+        assert!(backend.query(&prepared, &query_vector(256, 1), 0).is_err());
+        let empty = Csr::from_triplets(0, 4, &[]);
+        assert!(empty.is_ok_and(|m| backend.prepare(&m).is_err()));
     }
 }

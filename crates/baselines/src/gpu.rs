@@ -18,10 +18,11 @@
 //!   pairs/second rate.
 
 use tkspmv_fixed::Half;
-use tkspmv_sparse::Csr;
+use tkspmv_sparse::{Csr, DenseVector};
 
 use crate::radix_sort::radix_sort_desc;
-use tkspmv::TopKResult;
+use tkspmv::backend::{BackendPerf, BackendStats, PreparedMatrix, QueryResult, TopKBackend};
+use tkspmv::{EngineError, TopKResult};
 
 /// GPU arithmetic mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +172,128 @@ impl GpuModel {
     }
 }
 
+/// The GPU baseline as a [`TopKBackend`]: one fixed arithmetic mode per
+/// backend value, with an optional idealised *zero-cost sort* billing
+/// (the paper's most conservative comparison grants the GPU its full
+/// sort for free).
+///
+/// Functional results are identical between the two billing modes; only
+/// the reported performance differs.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv::backend::TopKBackend;
+/// use tkspmv_baselines::gpu::{GpuModel, GpuPrecision, GpuTopK};
+///
+/// let gpu = GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32);
+/// assert_eq!(gpu.name(), "gpu-f32");
+/// let ideal = gpu.with_zero_cost_sort();
+/// assert_eq!(ideal.name(), "gpu-f32-spmv");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuTopK {
+    model: GpuModel,
+    precision: GpuPrecision,
+    zero_cost_sort: bool,
+}
+
+/// Prepared-matrix compatibility family shared by every [`GpuTopK`]
+/// variant (see [`PreparedMatrix::new`]).
+const GPU_FAMILY: &str = "gpu";
+
+impl GpuTopK {
+    /// A backend billing the full SpMV + sort pipeline.
+    pub fn new(model: GpuModel, precision: GpuPrecision) -> Self {
+        Self {
+            model,
+            precision,
+            zero_cost_sort: false,
+        }
+    }
+
+    /// The idealised variant: same results, but the sort is billed at
+    /// zero cost (only the SpMV kernel counts).
+    #[must_use]
+    pub fn with_zero_cost_sort(mut self) -> Self {
+        self.zero_cost_sort = true;
+        self
+    }
+
+    /// The underlying performance model.
+    pub fn model(&self) -> &GpuModel {
+        &self.model
+    }
+
+    /// The arithmetic mode.
+    pub fn precision(&self) -> GpuPrecision {
+        self.precision
+    }
+}
+
+impl TopKBackend for GpuTopK {
+    fn name(&self) -> String {
+        let base = format!("gpu-{}", self.precision.label().to_ascii_lowercase());
+        if self.zero_cost_sort {
+            format!("{base}-spmv")
+        } else {
+            base
+        }
+    }
+
+    fn family(&self) -> String {
+        // Precision and sort billing are applied at query time, so every
+        // GPU variant can serve every GPU-prepared matrix.
+        GPU_FAMILY.to_string()
+    }
+
+    fn prepare(&self, csr: &Csr) -> Result<PreparedMatrix, EngineError> {
+        if csr.num_rows() == 0 {
+            return Err(EngineError::empty_matrix());
+        }
+        // Every GPU variant shares the `gpu` family: precision and sort
+        // billing are applied at query time, so a matrix prepared by any
+        // of them serves all of them correctly.
+        Ok(PreparedMatrix::new(
+            GPU_FAMILY,
+            csr.num_rows(),
+            csr.num_cols(),
+            csr.nnz() as u64,
+            csr.clone(),
+        ))
+    }
+
+    fn query(
+        &self,
+        matrix: &PreparedMatrix,
+        x: &DenseVector,
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
+        let csr: &Csr = matrix.downcast(GPU_FAMILY)?;
+        if x.len() != csr.num_cols() {
+            return Err(EngineError::vector_length_mismatch(x.len(), csr.num_cols()));
+        }
+        if k == 0 {
+            return Err(EngineError::zero_big_k());
+        }
+        let run = self.model.run(csr, x.as_slice(), k, self.precision);
+        let billed = if self.zero_cost_sort {
+            run.spmv_seconds
+        } else {
+            run.total_seconds()
+        };
+        Ok(QueryResult {
+            topk: run.topk,
+            perf: BackendPerf::modelled(billed, billed, csr.nnz() as u64),
+            stats: BackendStats::Gpu {
+                spmv_seconds: run.spmv_seconds,
+                sort_seconds: run.sort_seconds,
+                zero_cost_sort: self.zero_cost_sort,
+            },
+        })
+    }
+}
+
 /// A GPU baseline run: functional result + modelled timings.
 #[derive(Debug, Clone)]
 pub struct GpuRun {
@@ -267,6 +390,54 @@ mod tests {
         assert!(
             gpu.spmv_seconds(300_000_000, 10_000_000, GpuPrecision::F16)
                 < gpu.spmv_seconds(300_000_000, 10_000_000, GpuPrecision::F32)
+        );
+    }
+
+    #[test]
+    fn backend_trait_matches_direct_run() {
+        let csr = matrix();
+        let x = query_vector(256, 4);
+        let full: &dyn TopKBackend = &GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32);
+        let ideal_owned =
+            GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32).with_zero_cost_sort();
+        let ideal: &dyn TopKBackend = &ideal_owned;
+        let prepared = full.prepare(&csr).unwrap();
+        let direct = GpuModel::tesla_p100().run(&csr, x.as_slice(), 30, GpuPrecision::F32);
+
+        let out = full.query(&prepared, &x, 30).unwrap();
+        assert_eq!(out.topk, direct.topk);
+        assert!((out.perf.seconds - direct.total_seconds()).abs() < 1e-12);
+
+        // Zero-cost sort: same ranking, SpMV-only billing, shared state.
+        let out = ideal.query(&prepared, &x, 30).unwrap();
+        assert_eq!(out.topk, direct.topk);
+        assert!((out.perf.seconds - direct.spmv_seconds).abs() < 1e-12);
+        match out.stats {
+            BackendStats::Gpu {
+                spmv_seconds,
+                sort_seconds,
+                zero_cost_sort,
+            } => {
+                assert!(zero_cost_sort);
+                assert!(sort_seconds > spmv_seconds);
+            }
+            other => panic!("wrong stats variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_family_matrix_is_rejected_despite_matching_state_type() {
+        // CPU and GPU both keep a bare `Csr` as prepared state; the
+        // family check must still keep their matrices apart.
+        let csr = matrix();
+        let cpu_prepared = crate::cpu::CpuTopK::new(1).prepare(&csr).unwrap();
+        let gpu: &dyn TopKBackend = &GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F16);
+        let err = gpu
+            .query(&cpu_prepared, &query_vector(256, 1), 5)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("cpu") && err.to_string().contains("gpu"),
+            "{err}"
         );
     }
 

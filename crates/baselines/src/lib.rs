@@ -13,20 +13,33 @@
 //!   baseline in its own right for the sorting-cost analysis).
 //! - [`heap`]: the bounded min-heap underlying the CPU baseline.
 //!
+//! Both baselines implement [`tkspmv::TopKBackend`], the workspace-wide
+//! execution interface, so experiments can race them against the
+//! accelerator through one `Box<dyn TopKBackend>` roster (with batched
+//! queries via `query_batch`).
+//!
 //! # Example
 //!
 //! ```
+//! use tkspmv::backend::TopKBackend;
 //! use tkspmv_baselines::cpu::CpuTopK;
-//! use tkspmv_sparse::Csr;
+//! use tkspmv_sparse::{Csr, DenseVector};
 //!
 //! let csr = Csr::from_triplets(3, 4, &[(0, 0, 0.9), (1, 1, 0.5), (2, 2, 0.7)])?;
 //! let cpu = CpuTopK::new(2);
+//! // The raw API...
 //! let out = cpu.run(&csr, &[1.0, 1.0, 1.0, 1.0], 2);
 //! assert_eq!(out.indices(), vec![0, 2]);
-//! # Ok::<(), tkspmv_sparse::SparseError>(())
+//! // ...and the unified backend interface.
+//! let prepared = cpu.prepare(&csr)?;
+//! let ones = DenseVector::from_values(vec![1.0; 4]);
+//! let result = cpu.query(&prepared, &ones, 2)?;
+//! assert_eq!(result.topk.indices(), vec![0, 2]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::return_self_not_must_use)]
 #![forbid(unsafe_code)]
 
 pub mod cpu;

@@ -1,0 +1,64 @@
+//! Batched vs sequential query throughput through the `TopKBackend`
+//! trait (the acceptance check for the batched-query API).
+//!
+//! Sequential issues 64 single `query` calls; batched answers the same
+//! 64 queries with one `query_batch` call, which quantises with a single
+//! precision dispatch and keeps each channel's BS-CSR partition resident
+//! in its worker thread across the whole batch. Results are identical —
+//! only the host-side walltime differs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tkspmv::backend::{QueryBatch, TopKBackend};
+use tkspmv::Accelerator;
+use tkspmv_sparse::gen::{NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::Csr;
+
+const BATCH: usize = 64;
+const DIM: usize = 512;
+const K: usize = 100;
+
+fn collection() -> Csr {
+    SyntheticConfig {
+        num_rows: 20_000,
+        num_cols: DIM,
+        avg_nnz_per_row: 20,
+        distribution: NnzDistribution::Uniform,
+        seed: 42,
+    }
+    .generate()
+}
+
+fn batch_vs_sequential(c: &mut Criterion) {
+    let csr = collection();
+    let acc = Accelerator::builder()
+        .cores(32)
+        .k(8)
+        .build()
+        .expect("builds");
+    let backend: &dyn TopKBackend = &acc;
+    let prepared = backend.prepare(&csr).expect("prepares");
+    let batch = QueryBatch::random(BATCH, DIM, 7);
+
+    let mut group = c.benchmark_group("batch_query");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function(format!("sequential/{BATCH}"), |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|x| backend.query(&prepared, x, K).expect("query").topk.len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(format!("batched/{BATCH}"), |b| {
+        b.iter(|| {
+            backend
+                .query_batch(&prepared, &batch, K)
+                .expect("batch")
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, batch_vs_sequential);
+criterion_main!(benches);

@@ -17,10 +17,14 @@ fn main() {
     println!("paper reference (N = 10^7 panel): GPU F32 SpMV 51x, GPU F16 SpMV 58x,");
     println!("  FPGA 20b 106x, 25b 88x, 32b 89x, F32 43x; FPGA 20b ~2x idealised GPU");
     for r in &rows {
+        let fpga20 = r.speedup_of("fpga-20b").expect("fpga-20b in roster");
+        let gpu_ideal = r
+            .speedup_of("gpu-f32-spmv")
+            .expect("gpu-f32-spmv in roster");
         println!(
             "  {}: FPGA20b/GPU-F32-SpMV ratio = {:.2}x, throughput {:.1} GNNZ/s",
             r.group.label(),
-            r.fpga[0] / r.gpu_f32_spmv_only,
+            fpga20 / gpu_ideal,
             r.fpga20_nnz_per_sec() / 1e9,
         );
     }

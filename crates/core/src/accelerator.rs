@@ -11,7 +11,9 @@ use tkspmv_fixed::{Half, Precision, F32, Q1_19, Q1_24, Q1_31};
 use tkspmv_hw::{ChannelModel, DesignPoint, HbmConfig, ResourceModel, UramBudget};
 use tkspmv_sparse::{BsCsr, Csr, DenseVector, PacketLayout};
 
-use crate::engine::{quantize_vector, run_multicore, CoreStats, Fidelity};
+use crate::engine::{
+    quantize_vector, run_multicore, run_multicore_batch, CoreStats, Fidelity, MulticoreOutput,
+};
 use crate::error::EngineError;
 use crate::perf::PerfReport;
 use crate::topk::TopKResult;
@@ -71,18 +73,21 @@ impl Default for AcceleratorBuilder {
 
 impl AcceleratorBuilder {
     /// Selects the numeric design (default: 20-bit fixed point).
+    #[must_use]
     pub fn precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
         self
     }
 
     /// Number of cores / HBM channels (default 32).
+    #[must_use]
     pub fn cores(mut self, cores: u32) -> Self {
         self.cores = cores;
         self
     }
 
     /// Per-core Top-k depth (default 8).
+    #[must_use]
     pub fn k(mut self, k: usize) -> Self {
         self.k = k;
         self
@@ -90,12 +95,14 @@ impl AcceleratorBuilder {
 
     /// Limits the row-completion slots per packet (`r` of §IV-B). By
     /// default the hardware default `r = B/2` is applied at load time.
+    #[must_use]
     pub fn rows_per_packet(mut self, r: u32) -> Self {
         self.rows_per_packet = Some(r);
         self
     }
 
     /// Substitutes a different HBM configuration (e.g. a smaller card).
+    #[must_use]
     pub fn hbm(mut self, hbm: HbmConfig) -> Self {
         self.hbm = hbm;
         self
@@ -109,24 +116,16 @@ impl AcceleratorBuilder {
     /// exceeds the HBM channel count, or if `k` is zero.
     pub fn build(self) -> Result<Accelerator, EngineError> {
         if self.cores == 0 || self.cores > self.hbm.num_channels {
-            return Err(EngineError::InvalidConfig {
-                detail: format!(
-                    "cores must be in 1..={}, got {}",
-                    self.hbm.num_channels, self.cores
-                ),
-            });
+            return Err(EngineError::cores_out_of_range(
+                self.cores,
+                self.hbm.num_channels,
+            ));
         }
         if self.k == 0 {
-            return Err(EngineError::InvalidConfig {
-                detail: "k must be at least 1".to_string(),
-            });
+            return Err(EngineError::zero_k());
         }
-        if let Some(r) = self.rows_per_packet {
-            if r == 0 {
-                return Err(EngineError::InvalidConfig {
-                    detail: "rows_per_packet must be at least 1".to_string(),
-                });
-            }
+        if self.rows_per_packet == Some(0) {
+            return Err(EngineError::zero_rows_per_packet());
         }
         Ok(Accelerator {
             config: AcceleratorConfig {
@@ -153,6 +152,7 @@ pub struct Accelerator {
 impl Accelerator {
     /// Starts building an accelerator with the paper's defaults
     /// (20-bit fixed point, 32 cores, k = 8).
+    #[must_use]
     pub fn builder() -> AcceleratorBuilder {
         AcceleratorBuilder::default()
     }
@@ -198,15 +198,13 @@ impl Accelerator {
     /// format error if the matrix cannot be encoded.
     pub fn load_matrix(&self, csr: &Csr) -> Result<LoadedMatrix, EngineError> {
         if csr.num_rows() == 0 {
-            return Err(EngineError::InvalidConfig {
-                detail: "matrix must have at least one row".to_string(),
-            });
+            return Err(EngineError::empty_matrix());
         }
         let (layout, design) = self.design_for(csr.num_cols())?;
         if !self.resources.is_feasible(&design) {
-            return Err(EngineError::Infeasible {
-                detail: format!("{design:?} exceeds device resources"),
-            });
+            return Err(EngineError::infeasible(format!(
+                "{design:?} exceeds device resources"
+            )));
         }
         let uram = UramBudget::alveo_u280();
         if !uram.supports(
@@ -215,13 +213,11 @@ impl Accelerator {
             design.value_bits.max(16),
             csr.num_cols(),
         ) {
-            return Err(EngineError::Infeasible {
-                detail: format!(
-                    "query vector of {} entries does not fit URAM at {} cores",
-                    csr.num_cols(),
-                    design.cores
-                ),
-            });
+            return Err(EngineError::infeasible(format!(
+                "query vector of {} entries does not fit URAM at {} cores",
+                csr.num_cols(),
+                design.cores
+            )));
         }
         let cores = (self.config.cores as usize).min(csr.num_rows());
         let partitions: Vec<(usize, BsCsr)> = csr
@@ -263,32 +259,14 @@ impl Accelerator {
         x: &DenseVector,
         big_k: usize,
     ) -> Result<QueryOutput, EngineError> {
+        self.validate_query(matrix, big_k)?;
         if x.len() != matrix.num_cols {
-            return Err(EngineError::BadQuery {
-                detail: format!(
-                    "query vector has {} entries, matrix has {} columns",
-                    x.len(),
-                    matrix.num_cols
-                ),
-            });
+            return Err(EngineError::vector_length_mismatch(
+                x.len(),
+                matrix.num_cols,
+            ));
         }
-        if big_k == 0 {
-            return Err(EngineError::BadQuery {
-                detail: "K must be at least 1".to_string(),
-            });
-        }
-        let covered = self.config.k * matrix.partitions.len();
-        if covered < big_k {
-            return Err(EngineError::BadQuery {
-                detail: format!("k*c = {covered} cannot cover K = {big_k}; raise k or partitions"),
-            });
-        }
-        let fidelity = match self.config.rows_per_packet {
-            Some(r) => Fidelity::Faithful { rows_per_packet: r },
-            None => Fidelity::Faithful {
-                rows_per_packet: matrix.design.r,
-            },
-        };
+        let fidelity = self.fidelity_for(matrix);
         let k = self.config.k;
         let out = match self.config.precision {
             Precision::Fixed20 => {
@@ -312,6 +290,81 @@ impl Accelerator {
                 run_multicore::<Half>(&matrix.partitions, &xs, k, big_k, fidelity)
             }
         };
+        Ok(self.attach_perf(matrix, out))
+    }
+
+    /// Runs a batch of queries against a loaded matrix.
+    ///
+    /// A deployment answers many queries against the same collection;
+    /// the expensive load/encode step is paid once and the batch reuses
+    /// it. Beyond that, batching amortises per-call work that
+    /// [`Accelerator::query`] repeats every time: the precision dispatch
+    /// and query quantisation happen once for the whole batch, and each
+    /// per-channel BS-CSR partition stays resident in its worker thread
+    /// while *all* queries stream through it (the hardware picture — the
+    /// matrix lives in HBM, queries are swapped through URAM). Results
+    /// are in input order and element-wise identical to sequential
+    /// [`Accelerator::query`] calls. (On the real device queries are
+    /// serialised through the kernel; the per-query [`PerfReport`]s model
+    /// that serial latency, not the host-side parallel walltime.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing query's error; the whole batch is
+    /// validated before any query runs.
+    pub fn query_batch(
+        &self,
+        matrix: &LoadedMatrix,
+        queries: &[DenseVector],
+        big_k: usize,
+    ) -> Result<Vec<QueryOutput>, EngineError> {
+        self.validate_query(matrix, big_k)?;
+        for x in queries {
+            if x.len() != matrix.num_cols {
+                return Err(EngineError::vector_length_mismatch(
+                    x.len(),
+                    matrix.num_cols,
+                ));
+            }
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let fidelity = self.fidelity_for(matrix);
+        let k = self.config.k;
+        let outs = match self.config.precision {
+            Precision::Fixed20 => batch_typed::<Q1_19>(matrix, queries, k, big_k, fidelity),
+            Precision::Fixed25 => batch_typed::<Q1_24>(matrix, queries, k, big_k, fidelity),
+            Precision::Fixed32 => batch_typed::<Q1_31>(matrix, queries, k, big_k, fidelity),
+            Precision::Float32 => batch_typed::<F32>(matrix, queries, k, big_k, fidelity),
+            Precision::Half16 => batch_typed::<Half>(matrix, queries, k, big_k, fidelity),
+        };
+        Ok(outs
+            .into_iter()
+            .map(|out| self.attach_perf(matrix, out))
+            .collect())
+    }
+
+    /// Shared query-shape validation (`K` positive, coverable by `k·c`).
+    fn validate_query(&self, matrix: &LoadedMatrix, big_k: usize) -> Result<(), EngineError> {
+        if big_k == 0 {
+            return Err(EngineError::zero_big_k());
+        }
+        let covered = self.config.k * matrix.partitions.len();
+        if covered < big_k {
+            return Err(EngineError::coverage_too_small(covered, big_k));
+        }
+        Ok(())
+    }
+
+    fn fidelity_for(&self, matrix: &LoadedMatrix) -> Fidelity {
+        Fidelity::Faithful {
+            rows_per_packet: self.config.rows_per_packet.unwrap_or(matrix.design.r),
+        }
+    }
+
+    /// Wraps an engine output with the modelled performance report.
+    fn attach_perf(&self, matrix: &LoadedMatrix, out: MulticoreOutput) -> QueryOutput {
         let channel = self.channel_model(&matrix.design);
         let total_packets: u64 = matrix
             .partitions
@@ -325,54 +378,11 @@ impl Accelerator {
             total_packets,
             matrix.nnz,
         );
-        Ok(QueryOutput {
+        QueryOutput {
             topk: out.topk,
             perf,
             core_stats: out.core_stats,
-        })
-    }
-
-    /// Runs a batch of queries against a loaded matrix, parallelising
-    /// across host threads.
-    ///
-    /// A deployment answers many queries against the same collection;
-    /// the expensive load/encode step is paid once and each query reuses
-    /// it. Results are in input order. (On the real device queries are
-    /// serialised through the kernel; the per-query [`PerfReport`]s model
-    /// that serial latency, not the host-side parallel walltime.)
-    ///
-    /// # Errors
-    ///
-    /// Returns the first failing query's error; queries are validated
-    /// before any runs.
-    pub fn query_batch(
-        &self,
-        matrix: &LoadedMatrix,
-        queries: &[DenseVector],
-        big_k: usize,
-    ) -> Result<Vec<QueryOutput>, EngineError> {
-        for x in queries {
-            if x.len() != matrix.num_cols {
-                return Err(EngineError::BadQuery {
-                    detail: format!(
-                        "query vector has {} entries, matrix has {} columns",
-                        x.len(),
-                        matrix.num_cols
-                    ),
-                });
-            }
         }
-        let results: Vec<Result<QueryOutput, EngineError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .iter()
-                .map(|x| scope.spawn(move || self.query(matrix, x, big_k)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("query thread panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
     }
 
     /// The modelled kernel clock for a design point.
@@ -390,6 +400,22 @@ impl Accelerator {
             .hbm
             .channel_model(self.resources.clock_hz(design))
     }
+}
+
+/// Monomorphised batch execution: quantise every query once for the
+/// batch, then stream all of them through the resident partitions.
+fn batch_typed<S: tkspmv_fixed::SpmvScalar>(
+    matrix: &LoadedMatrix,
+    queries: &[DenseVector],
+    k: usize,
+    big_k: usize,
+    fidelity: Fidelity,
+) -> Vec<MulticoreOutput> {
+    let xs: Vec<Vec<S>> = queries
+        .iter()
+        .map(|x| quantize_vector::<S>(x.as_slice()))
+        .collect();
+    run_multicore_batch::<S>(&matrix.partitions, &xs, k, big_k, fidelity)
 }
 
 /// An embedding collection encoded and partitioned for an accelerator.
@@ -544,6 +570,26 @@ mod tests {
         for (x, out) in queries.iter().zip(&batch) {
             let single = acc.query(&m, x, 20).unwrap();
             assert_eq!(single.topk, out.topk);
+        }
+    }
+
+    #[test]
+    fn query_batch_of_nothing_is_ok() {
+        let acc = Accelerator::builder().cores(8).k(8).build().unwrap();
+        let m = acc.load_matrix(&small_matrix()).unwrap();
+        assert_eq!(acc.query_batch(&m, &[], 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn query_batch_reports_per_query_perf() {
+        let acc = Accelerator::builder().cores(8).k(8).build().unwrap();
+        let m = acc.load_matrix(&small_matrix()).unwrap();
+        let queries: Vec<_> = (0..3u64).map(|q| query_vector(512, q)).collect();
+        let batch = acc.query_batch(&m, &queries, 10).unwrap();
+        for (x, out) in queries.iter().zip(&batch) {
+            let single = acc.query(&m, x, 10).unwrap();
+            assert_eq!(single.perf, out.perf);
+            assert_eq!(single.core_stats, out.core_stats);
         }
     }
 

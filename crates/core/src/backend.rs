@@ -1,0 +1,557 @@
+//! The unified execution interface every Top-K SpMV engine implements.
+//!
+//! The paper's evaluation races three very different machines — the
+//! emulated FPGA accelerator, a multi-threaded CPU baseline, and an
+//! analytic GPU model — against each other on identical data. This
+//! module gives them one contract, [`TopKBackend`], so experiments,
+//! benchmarks and future serving layers can enumerate engines as
+//! `Box<dyn TopKBackend>` values instead of hand-wiring each call
+//! signature:
+//!
+//! 1. [`TopKBackend::prepare`] pays the one-time encode/upload cost and
+//!    returns an opaque [`PreparedMatrix`];
+//! 2. [`TopKBackend::query`] answers a single query with a uniform
+//!    [`QueryResult`] (ranked rows + performance + backend statistics);
+//! 3. [`TopKBackend::query_batch`] answers a [`QueryBatch`], letting
+//!    backends amortise per-call overhead — the accelerator keeps each
+//!    HBM channel's BS-CSR partition resident across the whole batch and
+//!    quantises with a single precision dispatch.
+//!
+//! Results of `query_batch` are guaranteed element-wise identical to
+//! issuing the same queries one at a time (property-tested in
+//! `tests/backend_batch.rs`); batching only changes *how fast* the
+//! answers arrive.
+
+use std::any::Any;
+
+use tkspmv_sparse::gen::query_vector;
+use tkspmv_sparse::{Csr, DenseVector};
+
+use crate::accelerator::{Accelerator, LoadedMatrix};
+use crate::engine::CoreStats;
+use crate::error::EngineError;
+use crate::perf::PerfReport;
+use crate::topk::TopKResult;
+
+/// A Top-K SpMV engine: prepares a sparse embedding collection once,
+/// then answers similarity queries against it.
+///
+/// Implementations must be cheap to construct and immutable at query
+/// time (`&self` everywhere), so one backend value can serve concurrent
+/// callers and prepared matrices can outlive the call that made them.
+pub trait TopKBackend: Send + Sync {
+    /// Stable display name, e.g. `fpga-20b`, `cpu`, `gpu-f16`. Used in
+    /// tables and error messages.
+    fn name(&self) -> String;
+
+    /// Prepared-matrix compatibility family (defaults to [`name`]).
+    ///
+    /// Backends that can correctly serve each other's prepared matrices
+    /// share one family — the GPU billing/precision variants all report
+    /// `gpu` — so callers may prepare a collection once per family and
+    /// reuse it across those backends. [`PreparedMatrix::downcast`]
+    /// enforces the family at query time.
+    ///
+    /// [`name`]: TopKBackend::name
+    fn family(&self) -> String {
+        self.name()
+    }
+
+    /// One-time preparation of an embedding collection (encoding,
+    /// partitioning, feasibility checks — whatever this engine needs
+    /// before it can answer queries).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific: the accelerator rejects designs that do not
+    /// place on the device, for example.
+    fn prepare(&self, csr: &Csr) -> Result<PreparedMatrix, EngineError>;
+
+    /// Answers one Top-`k` query against a prepared collection.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] if the vector length or `k` is
+    /// inconsistent with the prepared matrix, or if `matrix` was
+    /// prepared by an incompatible backend.
+    fn query(
+        &self,
+        matrix: &PreparedMatrix,
+        x: &DenseVector,
+        k: usize,
+    ) -> Result<QueryResult, EngineError>;
+
+    /// Answers a batch of queries, in input order.
+    ///
+    /// The default implementation loops over [`TopKBackend::query`];
+    /// backends override it to amortise per-call work. Either way the
+    /// results must be element-wise identical to sequential calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`TopKBackend::query`]; the first failing query's error is
+    /// returned and implementations validate the whole batch before
+    /// running any of it where practical.
+    fn query_batch(
+        &self,
+        matrix: &PreparedMatrix,
+        batch: &QueryBatch,
+        k: usize,
+    ) -> Result<Vec<QueryResult>, EngineError> {
+        batch.iter().map(|x| self.query(matrix, x, k)).collect()
+    }
+}
+
+/// An embedding collection after a backend's one-time preparation step.
+///
+/// The payload is backend-private (the accelerator stores BS-CSR
+/// partitions, the baselines keep the CSR); only the shape is visible.
+/// Hand it back to a backend of the *family* that prepared it —
+/// anything else fails with [`EngineError::BadQuery`], even when the
+/// private state types happen to coincide.
+pub struct PreparedMatrix {
+    family: String,
+    num_rows: usize,
+    num_cols: usize,
+    nnz: u64,
+    state: Box<dyn Any + Send + Sync>,
+}
+
+impl std::fmt::Debug for PreparedMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedMatrix")
+            .field("family", &self.family)
+            .field("num_rows", &self.num_rows)
+            .field("num_cols", &self.num_cols)
+            .field("nnz", &self.nnz)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedMatrix {
+    /// Wraps a backend's private prepared state. Called by
+    /// [`TopKBackend::prepare`] implementations, not by users.
+    ///
+    /// `family` is the compatibility key [`PreparedMatrix::downcast`]
+    /// enforces: backends that can correctly serve each other's prepared
+    /// matrices share one family (the GPU billing variants all use
+    /// `gpu`), everything else uses a family of its own (the accelerator
+    /// includes its precision, since the BS-CSR encoding differs).
+    pub fn new<T: Any + Send + Sync>(
+        family: impl Into<String>,
+        num_rows: usize,
+        num_cols: usize,
+        nnz: u64,
+        state: T,
+    ) -> Self {
+        Self {
+            family: family.into(),
+            num_rows,
+            num_cols,
+            nnz,
+            state: Box::new(state),
+        }
+    }
+
+    /// Compatibility family of the backend that prepared this matrix.
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// Rows (embeddings) in the prepared collection.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Columns (embedding dimension `M`).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Logical non-zeros.
+    pub fn nnz(&self) -> u64 {
+        self.nnz
+    }
+
+    /// Recovers the private state for a backend of `family`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] naming both families if the matrix was
+    /// prepared by a different family — the name is checked as well as
+    /// the state type, so two backends that coincidentally store the
+    /// same type (the CPU and GPU baselines both keep a CSR) still
+    /// cannot consume each other's matrices.
+    pub fn downcast<T: Any>(&self, family: &str) -> Result<&T, EngineError> {
+        if self.family != family {
+            return Err(EngineError::backend_mismatch(family, &self.family));
+        }
+        self.state
+            .downcast_ref::<T>()
+            .ok_or_else(|| EngineError::corrupt_prepared_state(family))
+    }
+}
+
+/// A non-empty set of equal-dimension query vectors answered as one
+/// [`TopKBackend::query_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBatch {
+    queries: Vec<DenseVector>,
+    dim: usize,
+}
+
+impl QueryBatch {
+    /// Builds a batch from query vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] if `queries` is empty or the vectors do
+    /// not all share one dimension.
+    pub fn new(queries: Vec<DenseVector>) -> Result<Self, EngineError> {
+        let Some(dim) = queries.first().map(DenseVector::len) else {
+            return Err(EngineError::empty_batch());
+        };
+        if let Some(bad) = queries.iter().find(|q| q.len() != dim) {
+            return Err(EngineError::vector_length_mismatch(bad.len(), dim));
+        }
+        Ok(Self { queries, dim })
+    }
+
+    /// A batch of `count` pseudo-random unit-scale queries of dimension
+    /// `dim` — the standard workload for benchmarks and experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `dim` is zero.
+    pub fn random(count: usize, dim: usize, seed: u64) -> Self {
+        assert!(count > 0, "batch needs at least one query");
+        assert!(dim > 0, "queries need at least one dimension");
+        let queries = (0..count as u64)
+            .map(|q| query_vector(dim, seed.wrapping_add(q)))
+            .collect();
+        Self { queries, dim }
+    }
+
+    /// Number of queries in the batch (always at least 1).
+    #[allow(clippy::len_without_is_empty)] // non-empty by construction
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Shared dimension of every query vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The queries, in batch order.
+    pub fn queries(&self) -> &[DenseVector] {
+        &self.queries
+    }
+
+    /// Iterates the queries in batch order.
+    pub fn iter(&self) -> std::slice::Iter<'_, DenseVector> {
+        self.queries.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a QueryBatch {
+    type Item = &'a DenseVector;
+    type IntoIter = std::slice::Iter<'a, DenseVector>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Where a [`BackendPerf`] time came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingSource {
+    /// Wall-clock measured on this host (the CPU baseline).
+    Measured,
+    /// Produced by a calibrated analytic model (FPGA, GPU).
+    Modelled,
+}
+
+/// Uniform performance facts every backend reports per query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendPerf {
+    /// End-to-end seconds, including host/launch overhead.
+    pub seconds: f64,
+    /// Compute-only seconds (the number Figure 5 compares).
+    pub kernel_seconds: f64,
+    /// Logical non-zeros processed.
+    pub nnz: u64,
+    /// Measured or modelled.
+    pub timing: TimingSource,
+}
+
+impl BackendPerf {
+    /// A wall-clock measurement (kernel time = total time).
+    pub fn measured(seconds: f64, nnz: u64) -> Self {
+        Self {
+            seconds,
+            kernel_seconds: seconds,
+            nnz,
+            timing: TimingSource::Measured,
+        }
+    }
+
+    /// An analytically modelled execution.
+    pub fn modelled(seconds: f64, kernel_seconds: f64, nnz: u64) -> Self {
+        Self {
+            seconds,
+            kernel_seconds,
+            nnz,
+            timing: TimingSource::Modelled,
+        }
+    }
+
+    /// Throughput in non-zeros per second (end-to-end).
+    pub fn nnz_per_sec(&self) -> f64 {
+        self.nnz as f64 / self.seconds
+    }
+
+    /// Throughput in giga-non-zeros per second.
+    pub fn gnnz_per_sec(&self) -> f64 {
+        self.nnz_per_sec() / 1e9
+    }
+}
+
+/// Backend-specific execution statistics attached to a [`QueryResult`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BackendStats {
+    /// The emulated accelerator: the full modelled report and per-core
+    /// counters.
+    Fpga {
+        /// Complete performance model output.
+        report: PerfReport,
+        /// Per-core statistics, in partition order.
+        cores: Vec<CoreStats>,
+    },
+    /// The CPU baseline.
+    Cpu {
+        /// Worker threads used.
+        threads: usize,
+    },
+    /// The GPU model: component times of the two-kernel pipeline.
+    Gpu {
+        /// Modelled cuSPARSE SpMV seconds.
+        spmv_seconds: f64,
+        /// Modelled Thrust sort seconds.
+        sort_seconds: f64,
+        /// Whether the backend bills the idealised zero-cost sort.
+        zero_cost_sort: bool,
+    },
+}
+
+impl BackendStats {
+    /// Per-core accelerator statistics, if this came from the FPGA.
+    pub fn core_stats(&self) -> Option<&[CoreStats]> {
+        match self {
+            BackendStats::Fpga { cores, .. } => Some(cores),
+            _ => None,
+        }
+    }
+
+    /// The accelerator's full performance report, if available.
+    pub fn perf_report(&self) -> Option<&PerfReport> {
+        match self {
+            BackendStats::Fpga { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+}
+
+/// What every backend returns per query: the ranked rows, uniform
+/// performance facts, and whatever engine-specific statistics it keeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The (approximate) Top-K, best first.
+    pub topk: TopKResult,
+    /// Uniform performance report.
+    pub perf: BackendPerf,
+    /// Backend-specific statistics.
+    pub stats: BackendStats,
+}
+
+/// Recovers an accelerator's own prepared state, rejecting matrices of
+/// any other family or (defence in depth, should the family string ever
+/// be spoofed through [`PreparedMatrix::new`]) a different encoding
+/// precision.
+fn checked_loaded<'m>(
+    acc: &Accelerator,
+    matrix: &'m PreparedMatrix,
+) -> Result<&'m LoadedMatrix, EngineError> {
+    let loaded: &LoadedMatrix = matrix.downcast(&acc.family())?;
+    if loaded.precision != acc.config().precision {
+        return Err(EngineError::bad_query(format!(
+            "prepared matrix is encoded as {}, backend expects {}",
+            loaded.precision.label(),
+            acc.config().precision.label()
+        )));
+    }
+    Ok(loaded)
+}
+
+/// Lifts an accelerator's native output into the uniform result shape.
+fn fpga_result(out: crate::accelerator::QueryOutput) -> QueryResult {
+    QueryResult {
+        perf: BackendPerf::modelled(out.perf.seconds, out.perf.kernel_seconds, out.perf.nnz),
+        topk: out.topk,
+        stats: BackendStats::Fpga {
+            report: out.perf,
+            cores: out.core_stats,
+        },
+    }
+}
+
+impl TopKBackend for Accelerator {
+    fn name(&self) -> String {
+        format!(
+            "fpga-{}",
+            self.config().precision.label().to_ascii_lowercase()
+        )
+    }
+
+    fn prepare(&self, csr: &Csr) -> Result<PreparedMatrix, EngineError> {
+        let loaded = self.load_matrix(csr)?;
+        Ok(PreparedMatrix::new(
+            self.name(),
+            loaded.num_rows,
+            loaded.num_cols,
+            loaded.nnz,
+            loaded,
+        ))
+    }
+
+    fn query(
+        &self,
+        matrix: &PreparedMatrix,
+        x: &DenseVector,
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
+        let loaded = checked_loaded(self, matrix)?;
+        Ok(fpga_result(self.query(loaded, x, k)?))
+    }
+
+    fn query_batch(
+        &self,
+        matrix: &PreparedMatrix,
+        batch: &QueryBatch,
+        k: usize,
+    ) -> Result<Vec<QueryResult>, EngineError> {
+        let loaded = checked_loaded(self, matrix)?;
+        let outs = self.query_batch(loaded, batch.queries(), k)?;
+        Ok(outs.into_iter().map(fpga_result).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkspmv_sparse::gen::{NnzDistribution, SyntheticConfig};
+
+    fn small_matrix() -> Csr {
+        SyntheticConfig {
+            num_rows: 800,
+            num_cols: 256,
+            avg_nnz_per_row: 16,
+            distribution: NnzDistribution::Uniform,
+            seed: 31,
+        }
+        .generate()
+    }
+
+    fn accelerator_backend() -> Box<dyn TopKBackend> {
+        Box::new(Accelerator::builder().cores(8).k(8).build().unwrap())
+    }
+
+    #[test]
+    fn accelerator_runs_through_the_trait() {
+        let backend = accelerator_backend();
+        assert_eq!(backend.name(), "fpga-20b");
+        let prepared = backend.prepare(&small_matrix()).unwrap();
+        assert_eq!(prepared.family(), "fpga-20b");
+        assert_eq!(prepared.num_rows(), 800);
+        assert_eq!(prepared.num_cols(), 256);
+        assert!(prepared.nnz() > 0);
+        let out = backend.query(&prepared, &query_vector(256, 3), 20).unwrap();
+        assert_eq!(out.topk.len(), 20);
+        assert_eq!(out.perf.timing, TimingSource::Modelled);
+        assert!(out.perf.kernel_seconds > 0.0);
+        assert!(out.perf.seconds > out.perf.kernel_seconds);
+        assert_eq!(out.stats.core_stats().unwrap().len(), 8);
+        assert!(out.stats.perf_report().is_some());
+    }
+
+    #[test]
+    fn trait_batch_matches_trait_singles() {
+        let backend = accelerator_backend();
+        let prepared = backend.prepare(&small_matrix()).unwrap();
+        let batch = QueryBatch::random(6, 256, 11);
+        let got = backend.query_batch(&prepared, &batch, 30).unwrap();
+        assert_eq!(got.len(), 6);
+        for (x, g) in batch.iter().zip(&got) {
+            let single = backend.query(&prepared, x, 30).unwrap();
+            assert_eq!(single.topk, g.topk);
+            assert_eq!(single.perf, g.perf);
+        }
+    }
+
+    #[test]
+    fn foreign_prepared_matrix_is_rejected() {
+        let backend = accelerator_backend();
+        let fake = PreparedMatrix::new("something-else", 10, 256, 50, 0u32);
+        let err = backend.query(&fake, &query_vector(256, 1), 5).unwrap_err();
+        assert!(err.to_string().contains("something-else"), "{err}");
+    }
+
+    #[test]
+    fn precision_mismatch_is_rejected() {
+        use tkspmv_fixed::Precision;
+        let b20 = accelerator_backend();
+        let b32: Box<dyn TopKBackend> = Box::new(
+            Accelerator::builder()
+                .precision(Precision::Fixed32)
+                .cores(8)
+                .k(8)
+                .build()
+                .unwrap(),
+        );
+        let prepared = b20.prepare(&small_matrix()).unwrap();
+        // Same state type, wrong encoding: must not silently misdecode.
+        assert!(b32.query(&prepared, &query_vector(256, 1), 5).is_err());
+    }
+
+    #[test]
+    fn query_batch_validates_dimensions() {
+        assert!(QueryBatch::new(vec![]).is_err());
+        assert!(QueryBatch::new(vec![query_vector(8, 1), query_vector(9, 2)]).is_err());
+        let batch = QueryBatch::new(vec![query_vector(8, 1), query_vector(8, 2)]).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.dim(), 8);
+        assert_eq!(batch.queries().len(), 2);
+        assert_eq!((&batch).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn random_batch_is_deterministic() {
+        let a = QueryBatch::random(4, 32, 9);
+        let b = QueryBatch::random(4, 32, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.dim(), 32);
+    }
+
+    #[test]
+    fn backend_perf_rates() {
+        let p = BackendPerf::measured(0.5, 1_000_000);
+        assert_eq!(p.timing, TimingSource::Measured);
+        assert!((p.nnz_per_sec() - 2_000_000.0).abs() < 1e-6);
+        assert!((p.gnnz_per_sec() - 0.002).abs() < 1e-12);
+        let m = BackendPerf::modelled(0.2, 0.1, 100);
+        assert_eq!(m.kernel_seconds, 0.1);
+        assert_eq!(m.timing, TimingSource::Modelled);
+    }
+}

@@ -12,5 +12,5 @@ mod multicore;
 mod trace;
 
 pub use core_model::{quantize_vector, run_core, CoreOutput, CoreStats, Fidelity};
-pub use multicore::{run_multicore, MulticoreOutput};
+pub use multicore::{run_multicore, run_multicore_batch, MulticoreOutput};
 pub use trace::{trace_core, PacketTrace};

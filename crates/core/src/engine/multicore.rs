@@ -85,6 +85,89 @@ pub fn run_multicore<S: SpmvScalar>(
     }
 }
 
+/// Runs a batch of queries over the same partitioned matrix, one
+/// [`MulticoreOutput`] per query, in input order.
+///
+/// Where [`run_multicore`] spawns one thread per partition *per query*,
+/// this path spawns each partition's thread once and streams **every**
+/// query through it before joining. That mirrors the hardware (the
+/// BS-CSR stream stays resident in its HBM channel while queries are
+/// swapped through URAM) and amortises thread setup and partition
+/// traversal across the batch, so a 64-query batch is markedly cheaper
+/// than 64 sequential [`run_multicore`] calls.
+///
+/// Results are element-wise identical to running each query alone: cores
+/// are independent and carry no state between queries.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_multicore`] (`partitions`
+/// empty, `k == 0`, or `k·c < big_k`).
+pub fn run_multicore_batch<S: SpmvScalar>(
+    partitions: &[(usize, BsCsr)],
+    queries: &[Vec<S>],
+    k: usize,
+    big_k: usize,
+    fidelity: Fidelity,
+) -> Vec<MulticoreOutput> {
+    assert!(!partitions.is_empty(), "need at least one partition");
+    assert!(
+        k * partitions.len() >= big_k,
+        "k*c = {} cannot cover K = {big_k}",
+        k * partitions.len()
+    );
+    if queries.is_empty() {
+        return Vec::new();
+    }
+
+    // `per_partition[p][q]` = partition p's globalised top-k and stats
+    // for query q.
+    type PerQuery = Vec<(Vec<(u32, f64)>, CoreStats)>;
+    let per_partition: Vec<PerQuery> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|(first_row, part)| {
+                scope.spawn(move || {
+                    queries
+                        .iter()
+                        .map(|x| {
+                            let out = run_core::<S>(part, x, k, fidelity);
+                            let globalised: Vec<(u32, f64)> = out
+                                .topk
+                                .into_iter()
+                                .map(|(local, acc)| (local + *first_row as u32, S::acc_to_f64(acc)))
+                                .collect();
+                            (globalised, out.stats)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("core thread panicked"))
+            .collect()
+    });
+
+    (0..queries.len())
+        .map(|q| {
+            let core_stats: Vec<CoreStats> = per_partition.iter().map(|p| p[q].1).collect();
+            let max_packets_per_core = core_stats.iter().map(|s| s.packets).max().unwrap_or(0);
+            let merged = TopKResult::merge(
+                per_partition
+                    .iter()
+                    .map(|p| TopKResult::from_pairs(p[q].0.clone())),
+                big_k,
+            );
+            MulticoreOutput {
+                topk: merged,
+                core_stats,
+                max_packets_per_core,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +266,38 @@ mod tests {
         let rows: u64 = out.core_stats.iter().map(|s| s.rows_finished).sum();
         assert_eq!(rows, 100);
         assert!(out.max_packets_per_core >= 1);
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let csr = SyntheticConfig {
+            num_rows: 600,
+            num_cols: 128,
+            avg_nnz_per_row: 12,
+            distribution: NnzDistribution::Uniform,
+            seed: 23,
+        }
+        .generate();
+        let parts = encode_partitions(&csr, 4);
+        let queries: Vec<Vec<_>> = (0..5u64)
+            .map(|q| quantize_vector::<Q1_31>(query_vector(128, q).as_slice()))
+            .collect();
+        let batch = run_multicore_batch::<Q1_31>(&parts, &queries, 8, 16, Fidelity::Reference);
+        assert_eq!(batch.len(), queries.len());
+        for (x, got) in queries.iter().zip(&batch) {
+            let single = run_multicore::<Q1_31>(&parts, x, 8, 16, Fidelity::Reference);
+            assert_eq!(got.topk, single.topk);
+            assert_eq!(got.core_stats, single.core_stats);
+            assert_eq!(got.max_packets_per_core, single.max_packets_per_core);
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_no_outputs() {
+        let csr = Csr::from_triplets(4, 2, &[(0, 0, 0.5), (3, 1, 0.25)]).unwrap();
+        let parts = encode_partitions(&csr, 2);
+        let batch = run_multicore_batch::<Q1_31>(&parts, &[], 2, 4, Fidelity::Reference);
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -26,6 +26,90 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// An [`EngineError::InvalidConfig`] with a free-form explanation.
+    pub fn invalid_config(detail: impl Into<String>) -> Self {
+        EngineError::InvalidConfig {
+            detail: detail.into(),
+        }
+    }
+
+    /// An [`EngineError::Infeasible`] with a free-form explanation.
+    pub fn infeasible(detail: impl Into<String>) -> Self {
+        EngineError::Infeasible {
+            detail: detail.into(),
+        }
+    }
+
+    /// An [`EngineError::BadQuery`] with a free-form explanation.
+    pub fn bad_query(detail: impl Into<String>) -> Self {
+        EngineError::BadQuery {
+            detail: detail.into(),
+        }
+    }
+
+    /// The per-core Top-k depth `k` was zero.
+    pub fn zero_k() -> Self {
+        Self::invalid_config("k must be at least 1")
+    }
+
+    /// The requested global `K` was zero.
+    pub fn zero_big_k() -> Self {
+        Self::bad_query("K must be at least 1")
+    }
+
+    /// The core count is outside the device's channel range.
+    pub fn cores_out_of_range(cores: u32, max_cores: u32) -> Self {
+        Self::invalid_config(format!("cores must be in 1..={max_cores}, got {cores}"))
+    }
+
+    /// The `r` row-completion limit was zero.
+    pub fn zero_rows_per_packet() -> Self {
+        Self::invalid_config("rows_per_packet must be at least 1")
+    }
+
+    /// The matrix has no rows to rank.
+    pub fn empty_matrix() -> Self {
+        Self::invalid_config("matrix must have at least one row")
+    }
+
+    /// A query vector's length does not match the matrix column count.
+    pub fn vector_length_mismatch(got: usize, want: usize) -> Self {
+        Self::bad_query(format!(
+            "query vector has {got} entries, matrix has {want} columns"
+        ))
+    }
+
+    /// `k · c` candidates cannot cover the requested global `K`.
+    pub fn coverage_too_small(covered: usize, big_k: usize) -> Self {
+        Self::bad_query(format!(
+            "k*c = {covered} cannot cover K = {big_k}; raise k or partitions"
+        ))
+    }
+
+    /// A prepared matrix was handed to a backend that did not (or could
+    /// not have) prepared it.
+    pub fn backend_mismatch(expected: &str, got: &str) -> Self {
+        Self::bad_query(format!(
+            "prepared matrix belongs to backend `{got}`, not `{expected}`"
+        ))
+    }
+
+    /// A prepared matrix carries the right family label but the wrong
+    /// private state — only possible if the label was forged through
+    /// `PreparedMatrix::new`.
+    pub fn corrupt_prepared_state(family: &str) -> Self {
+        Self::bad_query(format!(
+            "prepared matrix claims family `{family}` but holds a different state type"
+        ))
+    }
+
+    /// A query batch was constructed with no queries in it.
+    pub fn empty_batch() -> Self {
+        Self::bad_query("query batch must contain at least one query")
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -71,6 +155,34 @@ mod tests {
         };
         assert!(e.to_string().contains("K too large"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn typed_constructors_build_the_right_variants() {
+        assert!(matches!(
+            EngineError::zero_k(),
+            EngineError::InvalidConfig { .. }
+        ));
+        assert!(matches!(
+            EngineError::cores_out_of_range(64, 32),
+            EngineError::InvalidConfig { .. }
+        ));
+        assert!(matches!(
+            EngineError::vector_length_mismatch(10, 20),
+            EngineError::BadQuery { .. }
+        ));
+        assert!(matches!(
+            EngineError::coverage_too_small(8, 100),
+            EngineError::BadQuery { .. }
+        ));
+        assert!(matches!(
+            EngineError::backend_mismatch("cpu", "fpga-20b"),
+            EngineError::BadQuery { .. }
+        ));
+        let msg = EngineError::cores_out_of_range(64, 32).to_string();
+        assert!(msg.contains("1..=32") && msg.contains("64"), "{msg}");
+        let msg = EngineError::backend_mismatch("cpu", "fpga-20b").to_string();
+        assert!(msg.contains("cpu") && msg.contains("fpga-20b"), "{msg}");
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //!
 //! # Quickstart
 //!
+//! Every engine in this workspace — the emulated accelerator built here,
+//! plus the CPU and GPU baselines in `tkspmv_baselines` — speaks the
+//! [`backend::TopKBackend`] trait: `prepare` a collection once, then
+//! `query` it, one vector at a time or as a [`backend::QueryBatch`].
+//!
 //! ```
+//! use tkspmv::backend::{QueryBatch, TopKBackend};
 //! use tkspmv::Accelerator;
 //! use tkspmv_fixed::Precision;
 //! use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
@@ -35,25 +41,37 @@
 //! }
 //! .generate();
 //!
-//! // The paper's 20-bit, 32-core design.
-//! let acc = Accelerator::builder()
-//!     .precision(Precision::Fixed20)
-//!     .cores(32)
-//!     .k(8)
-//!     .build()?;
+//! // The paper's 20-bit, 32-core design, held behind the trait all
+//! // engines implement (swap in a CPU or GPU baseline the same way).
+//! let backend: Box<dyn TopKBackend> = Box::new(
+//!     Accelerator::builder()
+//!         .precision(Precision::Fixed20)
+//!         .cores(32)
+//!         .k(8)
+//!         .build()?,
+//! );
 //!
-//! let matrix = acc.load_matrix(&collection)?;
-//! let result = acc.query(&matrix, &query_vector(512, 7), 100)?;
+//! // One-time encode/upload, then query.
+//! let matrix = backend.prepare(&collection)?;
+//! let result = backend.query(&matrix, &query_vector(512, 7), 100)?;
 //! assert_eq!(result.topk.len(), 100);
 //! println!("modelled time: {:.3} ms", result.perf.seconds * 1e3);
+//!
+//! // Deployments answer many queries per collection: batches amortise
+//! // quantisation and keep each channel's partition resident.
+//! let batch = QueryBatch::random(16, 512, 1);
+//! let results = backend.query_batch(&matrix, &batch, 100)?;
+//! assert_eq!(results.len(), 16);
 //! # Ok::<(), tkspmv::EngineError>(())
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::return_self_not_must_use)]
 #![forbid(unsafe_code)]
 
 mod accelerator;
 pub mod approx;
+pub mod backend;
 pub mod engine;
 mod error;
 mod math;
@@ -63,9 +81,12 @@ mod topk;
 pub use accelerator::{
     Accelerator, AcceleratorBuilder, AcceleratorConfig, LoadedMatrix, QueryOutput,
 };
+pub use backend::{
+    BackendPerf, BackendStats, PreparedMatrix, QueryBatch, QueryResult, TimingSource, TopKBackend,
+};
 pub use engine::{
-    quantize_vector, run_core, run_multicore, trace_core, CoreOutput, CoreStats, Fidelity,
-    MulticoreOutput, PacketTrace,
+    quantize_vector, run_core, run_multicore, run_multicore_batch, trace_core, CoreOutput,
+    CoreStats, Fidelity, MulticoreOutput, PacketTrace,
 };
 pub use error::EngineError;
 pub use math::{hypergeometric_pmf, ln_choose, ln_gamma};

@@ -178,6 +178,7 @@ impl TopKResult {
     }
 
     /// Keeps only the best `k` entries.
+    #[must_use]
     pub fn truncated(mut self, k: usize) -> Self {
         self.entries.truncate(k);
         self

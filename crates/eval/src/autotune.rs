@@ -106,12 +106,10 @@ pub fn choose_precision(
             selected,
             candidates,
         }),
-        None => Err(EngineError::BadQuery {
-            detail: format!(
-                "no design meets precision >= {} and NDCG >= {} at K = {}",
-                target.min_precision, target.min_ndcg, target.k
-            ),
-        }),
+        None => Err(EngineError::bad_query(format!(
+            "no design meets precision >= {} and NDCG >= {} at K = {}",
+            target.min_precision, target.min_ndcg, target.k
+        ))),
     }
 }
 

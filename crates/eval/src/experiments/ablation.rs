@@ -9,13 +9,13 @@
 //!   through the §IV-C capacity equation. [`run_layout_sweep`] tabulates
 //!   the frontier.
 
-use tkspmv::Accelerator;
 use tkspmv_baselines::cpu::exact_topk;
 use tkspmv_fixed::Precision;
 use tkspmv_hw::{DesignPoint, ResourceModel};
 use tkspmv_sparse::gen::query_vector;
 use tkspmv_sparse::PacketLayout;
 
+use crate::backends;
 use crate::datasets::group_representatives;
 use crate::metrics::RankingQuality;
 use crate::report::{fnum, Table};
@@ -49,25 +49,22 @@ pub fn run_r_sweep(config: &ExpConfig) -> Vec<RSweepRow> {
         if rows.iter().any(|row: &RSweepRow| row.r == r) {
             continue;
         }
-        let acc = Accelerator::builder()
-            .precision(Precision::Fixed20)
-            .cores(32)
-            .k(8)
-            .rows_per_packet(r)
-            .build()
-            .expect("design builds");
-        let m = acc.load_matrix(&csr).expect("matrix loads");
+        let backend = backends::fpga_with_rows_per_packet(Precision::Fixed20, Some(r));
+        let prepared = backend.prepare(&csr).expect("matrix loads");
         let mut samples = Vec::new();
         let mut dropped = 0u64;
         let mut finished = 0u64;
         for q in 0..config.queries.max(1) {
             let x = query_vector(csr.num_cols(), config.seed + 17 * q as u64);
             let truth = exact_topk(&csr, x.as_slice(), 100);
-            let out = acc.query(&m, &x, 100).expect("query runs");
+            let out = backend.query(&prepared, &x, 100).expect("query runs");
             samples.push(RankingQuality::score(&out.topk.indices(), truth.entries()));
-            dropped += out.core_stats.iter().map(|s| s.rows_dropped).sum::<u64>();
-            finished += out
-                .core_stats
+            let cores = out
+                .stats
+                .core_stats()
+                .expect("accelerator reports per-core stats");
+            dropped += cores.iter().map(|s| s.rows_dropped).sum::<u64>();
+            finished += cores
                 .iter()
                 .map(|s| s.rows_finished + s.rows_dropped)
                 .sum::<u64>();

@@ -59,6 +59,10 @@ pub fn run_from_speedup(row: &SpeedupRow, assumptions: PowerAssumptions) -> Vec<
     let nnz = row.nnz as f64;
     // Throughputs implied by the shared CPU baseline time.
     let thr = |speedup: f64| nnz / (row.cpu_seconds / speedup) / 1e9;
+    let sp = |backend: &str| {
+        row.speedup_of(backend)
+            .unwrap_or_else(|| panic!("{backend} missing from the Figure 5 roster"))
+    };
     let mut rows = vec![
         (
             "CPU (2x Xeon 6248)".to_string(),
@@ -67,20 +71,23 @@ pub fn run_from_speedup(row: &SpeedupRow, assumptions: PowerAssumptions) -> Vec<
         ),
         (
             "GPU F32, zero-cost sort".to_string(),
-            thr(row.gpu_f32_spmv_only),
+            thr(sp("gpu-f32-spmv")),
             assumptions.gpu_w,
         ),
         (
             "GPU F32, with sort".to_string(),
-            thr(row.gpu_f32_topk),
+            thr(sp("gpu-f32")),
             assumptions.gpu_w,
         ),
     ];
-    for (i, precision) in Precision::FPGA_DESIGNS.iter().enumerate() {
-        let d = DesignPoint::paper_design(*precision);
+    for precision in Precision::FPGA_DESIGNS {
+        let d = DesignPoint::paper_design(precision);
         rows.push((
             format!("FPGA {}", precision.label()),
-            thr(row.fpga[i]),
+            thr(sp(&format!(
+                "fpga-{}",
+                precision.label().to_ascii_lowercase()
+            ))),
             model.power_w(&d),
         ));
     }
@@ -134,16 +141,32 @@ mod tests {
     fn synthetic_row() -> SpeedupRow {
         // A hand-built row with the paper's N = 10^7 panel speedups so
         // the power math is tested independently of host CPU speed.
+        let cpu_seconds = 0.509;
+        let arch = [
+            ("gpu-f32-spmv", 51.0),
+            ("gpu-f32", 15.0),
+            ("gpu-f16-spmv", 58.0),
+            ("gpu-f16", 16.0),
+            ("fpga-20b", 106.0),
+            ("fpga-25b", 88.0),
+            ("fpga-32b", 89.0),
+            ("fpga-f32", 43.0),
+        ]
+        .into_iter()
+        .map(
+            |(backend, speedup)| crate::experiments::speedup::ArchSpeedup {
+                backend: backend.to_string(),
+                seconds: cpu_seconds / speedup,
+                speedup,
+            },
+        )
+        .collect();
         SpeedupRow {
             group: DatasetGroup::Synthetic1e7,
             rows: 10_000_000,
             nnz: 300_000_000,
-            cpu_seconds: 0.509,
-            gpu_f32_spmv_only: 51.0,
-            gpu_f32_topk: 15.0,
-            gpu_f16_spmv_only: 58.0,
-            gpu_f16_topk: 16.0,
-            fpga: [106.0, 88.0, 89.0, 43.0],
+            cpu_seconds,
+            arch,
         }
     }
 

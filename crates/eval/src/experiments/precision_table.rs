@@ -1,4 +1,10 @@
 //! Table I: expected precision of the partitioned Top-K approximation.
+//!
+//! Unlike the engine-facing experiments, this one enumerates no
+//! [`tkspmv::TopKBackend`]s: Table I is pure order statistics over the
+//! `(N, c, k, K)` design space — the *analytic* counterpart of the
+//! accuracies the backends realise empirically in Figure 7 — so it runs
+//! on closed forms and Monte Carlo trials alone.
 
 use tkspmv::approx::{expected_precision, monte_carlo_precision};
 

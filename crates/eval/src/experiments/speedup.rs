@@ -4,15 +4,25 @@
 //! The CPU baseline is *measured* on the host (this reproduction's
 //! stand-in for the paper's dual Xeon 6248 + `sparse_dot_topn`); GPU and
 //! FPGA times come from their calibrated models, evaluated on the same
-//! matrix. All three process identical data, so the speedup ratios are
-//! directly comparable and scale-stable.
+//! matrix. All engines run through the [`tkspmv::TopKBackend`] trait —
+//! the experiment never names a concrete architecture; it races whatever
+//! [`crate::backends::figure5_roster`] returns against the measured CPU
+//! denominator, so the speedup ratios are directly comparable and
+//! scale-stable.
+//!
+//! Trait uniformity has one deliberate cost: every backend *executes*
+//! its query functionally (the GPU model really computes and sorts its
+//! output vector) even though only the modelled timings feed the table.
+//! That is the point — the experiment exercises exactly the code path a
+//! deployment would run, rather than a hand-wired analytic shortcut —
+//! and at the default `scale_divisor` it is cheap; for full-scale runs
+//! the zero-cost-sort columns are already derived from the full GPU runs
+//! instead of re-executing them.
 
-use tkspmv::Accelerator;
-use tkspmv_baselines::cpu::CpuTopK;
-use tkspmv_baselines::gpu::{GpuModel, GpuPrecision};
-use tkspmv_fixed::Precision;
+use tkspmv::backend::BackendStats;
 use tkspmv_sparse::gen::query_vector;
 
+use crate::backends;
 use crate::datasets::{group_representatives, DatasetGroup};
 use crate::report::{fnum, fspeedup, Table};
 use crate::ExpConfig;
@@ -20,118 +30,138 @@ use crate::ExpConfig;
 /// The K used by Figure 5.
 pub const FIGURE5_K: usize = 100;
 
+/// One modelled architecture's result on one dataset group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchSpeedup {
+    /// Backend name (see [`crate::backends`] for the roster).
+    pub backend: String,
+    /// Kernel seconds billed to this architecture.
+    pub seconds: f64,
+    /// Speedup over the measured CPU baseline.
+    pub speedup: f64,
+}
+
 /// Speedups of every architecture for one dataset group.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpeedupRow {
     /// Dataset group (figure panel).
     pub group: DatasetGroup,
-    /// Matrix rows / non-zeros actually processed.
+    /// Matrix rows actually processed.
     pub rows: usize,
     /// Non-zeros processed.
     pub nnz: u64,
-    /// Measured CPU baseline seconds.
+    /// Measured CPU baseline seconds (best of `queries` runs).
     pub cpu_seconds: f64,
-    /// GPU F32, SpMV only (idealised zero-cost sort): speedup vs CPU.
-    pub gpu_f32_spmv_only: f64,
-    /// GPU F32 including the sort.
-    pub gpu_f32_topk: f64,
-    /// GPU F16, SpMV only.
-    pub gpu_f16_spmv_only: f64,
-    /// GPU F16 including the sort.
-    pub gpu_f16_topk: f64,
-    /// FPGA speedups for 20b / 25b / 32b / F32 designs.
-    pub fpga: [f64; 4],
+    /// One entry per roster backend in roster order, plus a derived
+    /// `…-spmv` entry (zero-cost-sort billing) immediately before each
+    /// full GPU entry.
+    pub arch: Vec<ArchSpeedup>,
 }
 
 impl SpeedupRow {
+    /// Speedup of the named backend, if it is in the roster.
+    pub fn speedup_of(&self, backend: &str) -> Option<f64> {
+        self.arch
+            .iter()
+            .find(|a| a.backend == backend)
+            .map(|a| a.speedup)
+    }
+
     /// The FPGA 20-bit design's throughput in nnz/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fpga-20b` is not in the roster.
     pub fn fpga20_nnz_per_sec(&self) -> f64 {
-        self.nnz as f64 / (self.cpu_seconds / self.fpga[0])
+        let speedup = self.speedup_of("fpga-20b").expect("fpga-20b in roster");
+        self.nnz as f64 / (self.cpu_seconds / speedup)
     }
 }
 
-/// Runs the Figure 5 experiment over the four dataset groups.
+/// Runs the Figure 5 experiment over the four dataset groups, racing
+/// the roster of modelled backends against the measured CPU baseline.
 pub fn run(config: &ExpConfig) -> Vec<SpeedupRow> {
-    let cpu = CpuTopK::with_all_cores();
-    let gpu = GpuModel::tesla_p100();
+    let cpu = backends::cpu();
+    let roster = backends::figure5_roster();
     let mut rows = Vec::new();
     for spec in group_representatives() {
         let csr = spec.generate(config.scale_divisor);
-        let nnz = csr.nnz() as u64;
-        let n_rows = csr.num_rows() as u64;
 
         // CPU: wall-clock, best of `queries` runs (steady-state timing).
+        let prepared = cpu.prepare(&csr).expect("CPU baseline prepares");
         let mut cpu_seconds = f64::INFINITY;
         for q in 0..config.queries.max(1) {
             let x = query_vector(csr.num_cols(), config.seed + q as u64);
-            let run = cpu.run_timed(&csr, x.as_slice(), FIGURE5_K);
-            cpu_seconds = cpu_seconds.min(run.seconds);
+            let out = cpu.query(&prepared, &x, FIGURE5_K).expect("CPU query runs");
+            cpu_seconds = cpu_seconds.min(out.perf.seconds);
         }
 
-        // GPU: analytic model on the same matrix.
-        let g32 = gpu.spmv_seconds(nnz, n_rows, GpuPrecision::F32);
-        let g16 = gpu.spmv_seconds(nnz, n_rows, GpuPrecision::F16);
-        let sort = gpu.sort_seconds(n_rows);
-
-        // FPGA: model kernel time for each design on the same matrix.
-        let fpga: Vec<f64> = Precision::FPGA_DESIGNS
-            .iter()
-            .map(|&p| {
-                let acc = Accelerator::builder()
-                    .precision(p)
-                    .cores(32)
-                    .k(8)
-                    .build()
-                    .expect("paper design builds");
-                let m = acc.load_matrix(&csr).expect("paper design loads");
-                let x = query_vector(csr.num_cols(), config.seed);
-                let out = acc.query(&m, &x, FIGURE5_K).expect("query runs");
-                cpu_seconds / out.perf.kernel_seconds
-            })
-            .collect();
+        // Every modelled backend: same matrix, same query, one code
+        // path. The roster lists same-family backends adjacently, so one
+        // prepared matrix is held at a time and reused while the family
+        // matches (both GPU precisions share one prepared CSR instead of
+        // cloning the collection per variant) — peak memory stays at a
+        // single prepared encoding, as with hand-wired per-engine code.
+        let x = query_vector(csr.num_cols(), config.seed);
+        let mut arch = Vec::new();
+        let mut current: Option<(String, tkspmv::PreparedMatrix)> = None;
+        for backend in &roster {
+            let family = backend.family();
+            if current.as_ref().is_none_or(|(f, _)| *f != family) {
+                current = Some((
+                    family.clone(),
+                    backend.prepare(&csr).expect("backend prepares"),
+                ));
+            }
+            let prepared = &current.as_ref().expect("just prepared").1;
+            let out = backend
+                .query(prepared, &x, FIGURE5_K)
+                .expect("backend query runs");
+            // GPU runs also yield the paper's idealised zero-cost-sort
+            // column for free: same functional result, SpMV-only billing
+            // (re-running a `gpu_spmv_only` backend would recompute the
+            // identical ranking just to report a different time).
+            if let BackendStats::Gpu {
+                spmv_seconds,
+                zero_cost_sort: false,
+                ..
+            } = out.stats
+            {
+                arch.push(ArchSpeedup {
+                    backend: format!("{}-spmv", backend.name()),
+                    seconds: spmv_seconds,
+                    speedup: cpu_seconds / spmv_seconds,
+                });
+            }
+            arch.push(ArchSpeedup {
+                backend: backend.name(),
+                seconds: out.perf.kernel_seconds,
+                speedup: cpu_seconds / out.perf.kernel_seconds,
+            });
+        }
 
         rows.push(SpeedupRow {
             group: spec.group,
             rows: csr.num_rows(),
-            nnz,
+            nnz: csr.nnz() as u64,
             cpu_seconds,
-            gpu_f32_spmv_only: cpu_seconds / g32,
-            gpu_f32_topk: cpu_seconds / (g32 + sort),
-            gpu_f16_spmv_only: cpu_seconds / g16,
-            gpu_f16_topk: cpu_seconds / (g16 + sort),
-            fpga: [fpga[0], fpga[1], fpga[2], fpga[3]],
+            arch,
         });
     }
     rows
 }
 
-/// Renders the Figure 5 panels as a table.
+/// Renders the Figure 5 panels as a table (one column per backend).
 pub fn to_table(rows: &[SpeedupRow]) -> Table {
-    let mut t = Table::new(vec![
-        "Dataset",
-        "CPU baseline (ms)",
-        "GPU F32 SpMV",
-        "GPU F32 Top-K",
-        "GPU F16 SpMV",
-        "GPU F16 Top-K",
-        "FPGA 20b",
-        "FPGA 25b",
-        "FPGA 32b",
-        "FPGA F32",
-    ]);
+    let mut header = vec!["Dataset".to_string(), "CPU baseline (ms)".to_string()];
+    if let Some(first) = rows.first() {
+        header.extend(first.arch.iter().map(|a| a.backend.clone()));
+    }
+    let mut t = Table::new(header);
     for r in rows {
-        t.row(vec![
-            r.group.label().to_string(),
-            fnum(r.cpu_seconds * 1e3, 2),
-            fspeedup(r.gpu_f32_spmv_only),
-            fspeedup(r.gpu_f32_topk),
-            fspeedup(r.gpu_f16_spmv_only),
-            fspeedup(r.gpu_f16_topk),
-            fspeedup(r.fpga[0]),
-            fspeedup(r.fpga[1]),
-            fspeedup(r.fpga[2]),
-            fspeedup(r.fpga[3]),
-        ]);
+        let mut cells = vec![r.group.label().to_string(), fnum(r.cpu_seconds * 1e3, 2)];
+        cells.extend(r.arch.iter().map(|a| fspeedup(a.speedup)));
+        t.row(cells);
     }
     t
 }
@@ -144,17 +174,22 @@ mod tests {
         run(&ExpConfig::smoke_test())
     }
 
+    fn speedup(r: &SpeedupRow, backend: &str) -> f64 {
+        r.speedup_of(backend)
+            .unwrap_or_else(|| panic!("{backend} missing from roster"))
+    }
+
     #[test]
     fn figure5_shape_fpga_beats_idealised_gpu() {
         // The paper's headline: FPGA 20b is ~2x the GPU F32 SpMV-only
         // performance. Assert who-wins, not the exact factor.
         for r in rows() {
             assert!(
-                r.fpga[0] > r.gpu_f32_spmv_only,
+                speedup(&r, "fpga-20b") > speedup(&r, "gpu-f32-spmv"),
                 "{:?}: FPGA 20b {:.1}x vs GPU {:.1}x",
                 r.group,
-                r.fpga[0],
-                r.gpu_f32_spmv_only
+                speedup(&r, "fpga-20b"),
+                speedup(&r, "gpu-f32-spmv")
             );
         }
     }
@@ -163,24 +198,40 @@ mod tests {
     fn figure5_shape_precision_ordering() {
         // Reduced precision packs more nnz per packet -> faster.
         for r in rows() {
-            assert!(r.fpga[0] >= r.fpga[1], "{:?}: 20b >= 25b", r.group);
-            assert!(r.fpga[1] >= r.fpga[2], "{:?}: 25b >= 32b", r.group);
+            assert!(
+                speedup(&r, "fpga-20b") >= speedup(&r, "fpga-25b"),
+                "{:?}: 20b >= 25b",
+                r.group
+            );
+            assert!(
+                speedup(&r, "fpga-25b") >= speedup(&r, "fpga-32b"),
+                "{:?}: 25b >= 32b",
+                r.group
+            );
             // Fixed 32b beats float (higher clock).
-            assert!(r.fpga[2] >= r.fpga[3], "{:?}: 32b >= F32", r.group);
+            assert!(
+                speedup(&r, "fpga-32b") >= speedup(&r, "fpga-f32"),
+                "{:?}: 32b >= F32",
+                r.group
+            );
         }
     }
 
     #[test]
     fn figure5_shape_sorting_hurts_gpu() {
         for r in rows() {
-            assert!(r.gpu_f32_topk < r.gpu_f32_spmv_only);
-            assert!(r.gpu_f16_topk < r.gpu_f16_spmv_only);
+            assert!(speedup(&r, "gpu-f32") < speedup(&r, "gpu-f32-spmv"));
+            assert!(speedup(&r, "gpu-f16") < speedup(&r, "gpu-f16-spmv"));
         }
     }
 
     #[test]
-    fn table_renders_four_panels() {
-        let t = to_table(&rows());
+    fn table_renders_four_panels_with_roster_columns() {
+        let rows = rows();
+        let t = to_table(&rows);
         assert_eq!(t.len(), 4);
+        assert!(t.to_markdown().contains("fpga-20b"));
+        // Throughput helper stays usable for the binary's summary line.
+        assert!(rows[0].fpga20_nnz_per_sec() > 0.0);
     }
 }

@@ -18,11 +18,17 @@
 //! the performance models are scale-invariant (streaming designs are
 //! linear in NNZ), so speedup and accuracy *shapes* are preserved. Run
 //! with `scale_divisor = 1` to reproduce at full size.
+//!
+//! Engine-facing experiments do not hand-wire per-architecture code
+//! paths: they enumerate `Box<dyn TopKBackend>` rosters from
+//! [`backends`], so a new engine joins every figure by implementing one
+//! trait.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod autotune;
+pub mod backends;
 pub mod datasets;
 pub mod experiments;
 pub mod metrics;
