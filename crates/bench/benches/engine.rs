@@ -2,7 +2,7 @@
 //! model chews through packets (not the FPGA's modelled speed).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tkspmv::{quantize_vector, run_core, Fidelity};
+use tkspmv::{quantize_vector, run_core, run_core_with_scratch, CoreScratch, Fidelity};
 use tkspmv_fixed::{F32, Q1_19, Q1_31};
 use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
 use tkspmv_sparse::{BsCsr, Csr, PacketLayout};
@@ -14,6 +14,19 @@ fn matrix() -> Csr {
         avg_nnz_per_row: 20,
         distribution: NnzDistribution::table3_gamma(),
         seed: 2,
+    }
+    .generate()
+}
+
+/// A ≥1M-nnz collection: the steady-state packet-stream workload whose
+/// throughput the zero-allocation hot path is measured on.
+fn large_matrix() -> Csr {
+    SyntheticConfig {
+        num_rows: 52_000,
+        num_cols: 1024,
+        avg_nnz_per_row: 20,
+        distribution: NnzDistribution::table3_gamma(),
+        seed: 7,
     }
     .generate()
 }
@@ -44,5 +57,32 @@ fn bench_core(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_core);
+/// Packet-stream throughput over a ≥1M-nnz matrix at the paper's small-k
+/// operating points — the bench `BENCH_hotpath.json` tracks.
+fn bench_packet_stream(c: &mut Criterion) {
+    let csr = large_matrix();
+    assert!(csr.nnz() >= 1_000_000, "bench matrix must be >= 1M nnz");
+    let x = query_vector(1024, 11);
+    let bs = BsCsr::encode::<Q1_19>(&csr, PacketLayout::solve(1024, 20).unwrap());
+    let xq = quantize_vector::<Q1_19>(x.as_slice());
+
+    let mut group = c.benchmark_group("packet_stream");
+    group.throughput(Throughput::Elements(csr.nnz() as u64));
+    for k in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("fixed20", k), &k, |b, &k| {
+            b.iter(|| run_core::<Q1_19>(&bs, &xq, k, Fidelity::Reference));
+        });
+        // The multicore steady state: one scratch reused across calls,
+        // zero allocations per packet once warm.
+        group.bench_with_input(BenchmarkId::new("fixed20_scratch_reuse", k), &k, |b, &k| {
+            let mut scratch = CoreScratch::new();
+            b.iter(|| {
+                run_core_with_scratch::<Q1_19>(&bs, &xq, k, Fidelity::Reference, &mut scratch)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core, bench_packet_stream);
 criterion_main!(benches);

@@ -28,5 +28,35 @@ fn bench_tracker(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tracker);
+/// The hardware's common case: a warm scratchpad rejecting almost every
+/// candidate. After the first `k` high values the stream offers only low
+/// ones, so a thresholded tracker does one comparison per insert.
+fn bench_tracker_warm_reject(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_tracker_warm_reject");
+    let candidates: Vec<(u32, u64)> = (0..100_000u32)
+        .map(|i| {
+            // Values below any of the seeds inserted during warm-up.
+            let v = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 44;
+            (i, v)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(candidates.len() as u64));
+    for k in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = TopKTracker::<u64>::new(k);
+                for i in 0..k as u32 {
+                    t.insert(i, u64::MAX - u64::from(i)); // warm the scratchpad
+                }
+                for &(i, v) in &candidates {
+                    t.insert(i, v);
+                }
+                t.into_sorted()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracker, bench_tracker_warm_reject);
 criterion_main!(benches);

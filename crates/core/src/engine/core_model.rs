@@ -1,7 +1,7 @@
 //! Single-core emulation of the 4-stage dataflow pipeline (Algorithm 1).
 
 use tkspmv_fixed::SpmvScalar;
-use tkspmv_sparse::BsCsr;
+use tkspmv_sparse::{BsCsr, PacketScratch};
 
 use crate::topk::TopKTracker;
 
@@ -46,6 +46,38 @@ pub struct CoreOutput<A> {
     pub stats: CoreStats,
 }
 
+/// Reusable working memory for [`run_core_with_scratch`]: the decoded
+/// packet fields plus the stage-1 product buffer.
+///
+/// Allocate one per worker thread and stream every packet of every
+/// query through it; after the first packet warms the buffer capacities
+/// the steady-state loop performs zero heap allocations per packet
+/// (asserted by the `zero_alloc` integration test), which is what lets
+/// the software model be bandwidth- rather than allocator-bound.
+#[derive(Debug, Clone)]
+pub struct CoreScratch<A> {
+    /// Decoded packet fields (`row_ends` / `idx` / `val`).
+    packet: PacketScratch,
+    /// Stage-1 point-wise products of the current packet.
+    products: Vec<A>,
+}
+
+impl<A> CoreScratch<A> {
+    /// Creates an empty scratch; the first packet sizes its buffers.
+    pub fn new() -> Self {
+        Self {
+            packet: PacketScratch::new(),
+            products: Vec::new(),
+        }
+    }
+}
+
+impl<A> Default for CoreScratch<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Runs one core over a BS-CSR partition, returning its local top-`k`.
 ///
 /// This follows Algorithm 1 stage by stage:
@@ -72,6 +104,32 @@ pub fn run_core<S: SpmvScalar>(
     k: usize,
     fidelity: Fidelity,
 ) -> CoreOutput<S::Acc> {
+    run_core_with_scratch(matrix, x, k, fidelity, &mut CoreScratch::new())
+}
+
+/// [`run_core`] with caller-owned working memory — the steady-state hot
+/// path.
+///
+/// Identical results to [`run_core`] for any scratch state (each packet
+/// overwrites the scratch completely), but reusing one [`CoreScratch`]
+/// across packets, queries, and matrices keeps the decode→accumulate
+/// loop free of heap allocation. [`run_multicore`] and
+/// [`run_multicore_batch`] allocate one scratch per partition thread and
+/// stream everything through it.
+///
+/// [`run_multicore`]: crate::run_multicore
+/// [`run_multicore_batch`]: crate::run_multicore_batch
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_core`].
+pub fn run_core_with_scratch<S: SpmvScalar>(
+    matrix: &BsCsr,
+    x: &[S],
+    k: usize,
+    fidelity: Fidelity,
+    scratch: &mut CoreScratch<S::Acc>,
+) -> CoreOutput<S::Acc> {
     assert!(
         x.len() >= matrix.num_cols(),
         "query vector has {} entries, matrix needs {}",
@@ -89,17 +147,20 @@ pub fn run_core<S: SpmvScalar>(
     let mut current_row: u32 = 0;
 
     for p in 0..matrix.num_packets() {
-        let view = matrix.view(p);
+        matrix.view_into(p, &mut scratch.packet);
+        let view = &scratch.packet;
         stats.packets += 1;
         stats.entries += view.len() as u64;
 
         // Stage 1: point-wise products (the B-wide multiplier array).
-        let products: Vec<S::Acc> = view
-            .idx
-            .iter()
-            .zip(&view.val)
-            .map(|(&idx, &raw)| S::mul(S::decode(raw), x[idx as usize]))
-            .collect();
+        scratch.products.clear();
+        scratch.products.extend(
+            view.idx
+                .iter()
+                .zip(&view.val)
+                .map(|(&idx, &raw)| S::mul(S::decode(raw), x[idx as usize])),
+        );
+        let products = &scratch.products;
 
         // Stages 2+3: segmented sums between row ends, carry stitching.
         debug_assert_eq!(

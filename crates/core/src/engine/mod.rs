@@ -11,6 +11,8 @@ mod core_model;
 mod multicore;
 mod trace;
 
-pub use core_model::{quantize_vector, run_core, CoreOutput, CoreStats, Fidelity};
+pub use core_model::{
+    quantize_vector, run_core, run_core_with_scratch, CoreOutput, CoreScratch, CoreStats, Fidelity,
+};
 pub use multicore::{run_multicore, run_multicore_batch, MulticoreOutput};
 pub use trace::{trace_core, PacketTrace};

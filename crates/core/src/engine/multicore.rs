@@ -3,7 +3,7 @@
 use tkspmv_fixed::SpmvScalar;
 use tkspmv_sparse::BsCsr;
 
-use super::core_model::{run_core, CoreStats, Fidelity};
+use super::core_model::{run_core_with_scratch, CoreScratch, CoreStats, Fidelity};
 use crate::topk::TopKResult;
 
 /// Output of a multi-core run: the merged approximate Top-K plus
@@ -54,7 +54,8 @@ pub fn run_multicore<S: SpmvScalar>(
             .iter()
             .map(|(first_row, part)| {
                 scope.spawn(move || {
-                    let out = run_core::<S>(part, x, k, fidelity);
+                    let mut scratch = CoreScratch::new();
+                    let out = run_core_with_scratch::<S>(part, x, k, fidelity, &mut scratch);
                     let globalised: Vec<(u32, f64)> = out
                         .topk
                         .into_iter()
@@ -72,12 +73,7 @@ pub fn run_multicore<S: SpmvScalar>(
 
     let core_stats: Vec<CoreStats> = outputs.iter().map(|(_, s)| *s).collect();
     let max_packets_per_core = core_stats.iter().map(|s| s.packets).max().unwrap_or(0);
-    let merged = TopKResult::merge(
-        outputs
-            .into_iter()
-            .map(|(pairs, _)| TopKResult::from_pairs(pairs)),
-        big_k,
-    );
+    let merged = TopKResult::merge_pairs(outputs.into_iter().flat_map(|(pairs, _)| pairs), big_k);
     MulticoreOutput {
         topk: merged,
         core_stats,
@@ -121,17 +117,21 @@ pub fn run_multicore_batch<S: SpmvScalar>(
     }
 
     // `per_partition[p][q]` = partition p's globalised top-k and stats
-    // for query q.
+    // for query q. Each partition thread owns one CoreScratch and
+    // streams the whole batch through it, so the steady-state loop
+    // allocates nothing per packet.
     type PerQuery = Vec<(Vec<(u32, f64)>, CoreStats)>;
     let per_partition: Vec<PerQuery> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
             .map(|(first_row, part)| {
                 scope.spawn(move || {
+                    let mut scratch = CoreScratch::new();
                     queries
                         .iter()
                         .map(|x| {
-                            let out = run_core::<S>(part, x, k, fidelity);
+                            let out =
+                                run_core_with_scratch::<S>(part, x, k, fidelity, &mut scratch);
                             let globalised: Vec<(u32, f64)> = out
                                 .topk
                                 .into_iter()
@@ -149,16 +149,24 @@ pub fn run_multicore_batch<S: SpmvScalar>(
             .collect()
     });
 
-    (0..queries.len())
-        .map(|q| {
-            let core_stats: Vec<CoreStats> = per_partition.iter().map(|p| p[q].1).collect();
+    // Transpose partition-major to query-major by moving each per-query
+    // pair vector exactly once — the merge consumes owned pairs, so no
+    // per-core top-k list is ever cloned.
+    let mut per_query: Vec<PerQuery> = (0..queries.len())
+        .map(|_| Vec::with_capacity(partitions.len()))
+        .collect();
+    for partition_outputs in per_partition {
+        for (q, output) in partition_outputs.into_iter().enumerate() {
+            per_query[q].push(output);
+        }
+    }
+    per_query
+        .into_iter()
+        .map(|parts| {
+            let core_stats: Vec<CoreStats> = parts.iter().map(|(_, s)| *s).collect();
             let max_packets_per_core = core_stats.iter().map(|s| s.packets).max().unwrap_or(0);
-            let merged = TopKResult::merge(
-                per_partition
-                    .iter()
-                    .map(|p| TopKResult::from_pairs(p[q].0.clone())),
-                big_k,
-            );
+            let merged =
+                TopKResult::merge_pairs(parts.into_iter().flat_map(|(pairs, _)| pairs), big_k);
             MulticoreOutput {
                 topk: merged,
                 core_stats,

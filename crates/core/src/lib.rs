@@ -85,8 +85,8 @@ pub use backend::{
     BackendPerf, BackendStats, PreparedMatrix, QueryBatch, QueryResult, TimingSource, TopKBackend,
 };
 pub use engine::{
-    quantize_vector, run_core, run_multicore, run_multicore_batch, trace_core, CoreOutput,
-    CoreStats, Fidelity, MulticoreOutput, PacketTrace,
+    quantize_vector, run_core, run_core_with_scratch, run_multicore, run_multicore_batch,
+    trace_core, CoreOutput, CoreScratch, CoreStats, Fidelity, MulticoreOutput, PacketTrace,
 };
 pub use error::EngineError;
 pub use math::{hypergeometric_pmf, ln_choose, ln_gamma};

@@ -28,7 +28,16 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct TopKTracker<A> {
-    slots: Vec<Option<(u32, A)>>,
+    /// Capacity `k`.
+    k: usize,
+    /// Dense slab: the filled prefix of the `k` hardware registers, in
+    /// fill order (evictions replace in place).
+    slots: Vec<(u32, A)>,
+    /// Position of the current minimum (first minimal slot), valid only
+    /// once the slab is full. Caching it turns the common-case reject of
+    /// a warm scratchpad into a single comparison; an O(k) re-scan runs
+    /// only on eviction, mirroring the hardware's threshold register.
+    min_slot: usize,
     /// Number of candidates offered (for occupancy statistics).
     offered: u64,
     /// Number of candidates accepted into the scratchpad.
@@ -44,7 +53,9 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "top-k tracker needs at least one slot");
         Self {
-            slots: vec![None; k],
+            k,
+            slots: Vec::with_capacity(k),
+            min_slot: 0,
             offered: 0,
             accepted: 0,
         }
@@ -52,41 +63,64 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
 
     /// Capacity `k`.
     pub fn k(&self) -> usize {
-        self.slots.len()
+        self.k
     }
 
     /// Number of filled slots.
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.slots.len()
     }
 
     /// Whether no candidate has been accepted yet.
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|s| s.is_none())
+        self.slots.is_empty()
+    }
+
+    /// Recomputes the cached argmin: the *first* slot holding a minimal
+    /// value, exactly what the old per-insert `min_by` scan selected.
+    fn rescan_min(&mut self) {
+        debug_assert_eq!(self.slots.len(), self.k, "argmin only cached when full");
+        let mut arg = 0usize;
+        let mut min = self.slots[0].1;
+        for (i, &(_, v)) in self.slots.iter().enumerate().skip(1) {
+            if v < min {
+                arg = i;
+                min = v;
+            }
+        }
+        self.min_slot = arg;
     }
 
     /// Offers a candidate; returns `true` if it was accepted.
     ///
     /// Empty slots are filled first; otherwise the candidate replaces the
     /// current minimum if its value is `>=` (the hardware comparison).
+    /// With the slab full, a losing candidate costs exactly one
+    /// comparison against the cached minimum.
+    ///
+    /// Values must be totally ordered (the hardware comparator knows no
+    /// NaN): an incomparable candidate offered to a full slab compares
+    /// `false` and is rejected. Debug builds assert against it; release
+    /// builds keep the hot path branch-free.
     pub fn insert(&mut self, index: u32, value: A) -> bool {
+        debug_assert!(
+            value.partial_cmp(&value).is_some(),
+            "top-k candidate values must be comparable (got an incomparable value, e.g. NaN)"
+        );
         self.offered += 1;
-        // Fill an empty slot if one exists.
-        if let Some(slot) = self.slots.iter_mut().find(|s| s.is_none()) {
-            *slot = Some((index, value));
+        // Fill phase: push until all k registers hold a candidate.
+        if self.slots.len() < self.k {
+            self.slots.push((index, value));
+            if self.slots.len() == self.k {
+                self.rescan_min();
+            }
             self.accepted += 1;
             return true;
         }
-        // Argmin scan over the k registers.
-        let (argmin, &min) = self
-            .slots
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i, s.as_ref().expect("all slots filled")))
-            .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("comparable values"))
-            .expect("k > 0");
-        if value >= min.1 {
-            self.slots[argmin] = Some((index, value));
+        // Steady state: one comparison against the cached minimum.
+        if value >= self.slots[self.min_slot].1 {
+            self.slots[self.min_slot] = (index, value);
+            self.rescan_min();
             self.accepted += 1;
             true
         } else {
@@ -96,13 +130,10 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
 
     /// The current worst (minimum) tracked value, if the tracker is full.
     pub fn current_min(&self) -> Option<A> {
-        if self.slots.iter().any(|s| s.is_none()) {
+        if self.slots.len() < self.k {
             return None;
         }
-        self.slots
-            .iter()
-            .map(|s| s.expect("checked").1)
-            .min_by(|a, b| a.partial_cmp(b).expect("comparable values"))
+        Some(self.slots[self.min_slot].1)
     }
 
     /// Candidates offered so far.
@@ -118,7 +149,7 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
     /// Extracts the tracked pairs sorted by value descending (ties by
     /// index ascending, for deterministic output).
     pub fn into_sorted(self) -> Vec<(u32, A)> {
-        let mut out: Vec<(u32, A)> = self.slots.into_iter().flatten().collect();
+        let mut out = self.slots;
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("comparable values")
@@ -187,11 +218,16 @@ impl TopKResult {
     /// Merges several partial results (e.g. per-core Top-k lists) and
     /// keeps the global best `k` — the §III-A reduction step.
     pub fn merge<I: IntoIterator<Item = TopKResult>>(parts: I, k: usize) -> Self {
-        let pairs: Vec<(u32, f64)> = parts
-            .into_iter()
-            .flat_map(|p| p.entries.into_iter())
-            .collect();
-        Self::from_pairs(pairs).truncated(k)
+        Self::merge_pairs(parts.into_iter().flat_map(|p| p.entries), k)
+    }
+
+    /// Merges owned `(row, score)` pairs and keeps the global best `k`.
+    ///
+    /// The clone-free reduction primitive: callers that already hold
+    /// per-core pair vectors move them straight in (one flat collect and
+    /// one sort, no intermediate per-part [`TopKResult`]s).
+    pub fn merge_pairs<I: IntoIterator<Item = (u32, f64)>>(pairs: I, k: usize) -> Self {
+        Self::from_pairs(pairs.into_iter().collect()).truncated(k)
     }
 }
 

@@ -18,10 +18,10 @@
 
 use tkspmv_fixed::SpmvScalar;
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::BitWriter;
 use crate::csr::Csr;
 use crate::layout::PacketLayout;
-use crate::packet::{Packet512, PACKET_BYTES};
+use crate::packet::{extract_field, field_mask, Packet512, PACKET_BYTES};
 
 /// A sparse matrix encoded as a stream of BS-CSR packets.
 ///
@@ -183,6 +183,9 @@ impl BsCsr {
 
     /// Parses packet `i` into its fields.
     ///
+    /// Allocates fresh buffers per call; hot loops should reuse a
+    /// [`PacketScratch`] via [`BsCsr::view_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
@@ -190,15 +193,36 @@ impl BsCsr {
         PacketView::parse(&self.packets[i], self.layout, self.entries_in_packet(i))
     }
 
+    /// Parses packet `i` into caller-owned scratch buffers, allocating
+    /// nothing once the scratch capacity has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn view_into(&self, i: usize, scratch: &mut PacketScratch) {
+        PacketView::parse_into(
+            &self.packets[i],
+            self.layout,
+            self.entries_in_packet(i),
+            scratch,
+        );
+    }
+
     /// Iterates over `(row, col, raw_value)` for every stored entry,
     /// including placeholders, reconstructing row indices from the packet
     /// metadata alone (this is exactly what the hardware does).
     pub fn entries(&self) -> PacketEntries<'_> {
+        let mut scratch = PacketScratch::new();
+        let exhausted = self.packets.is_empty();
+        if !exhausted {
+            self.view_into(0, &mut scratch);
+        }
         PacketEntries {
             matrix: self,
             packet: 0,
             entry: 0,
-            view: (!self.packets.is_empty()).then(|| self.view(0)),
+            scratch,
+            exhausted,
             row: 0,
             seg: 0,
         }
@@ -219,9 +243,10 @@ impl BsCsr {
     pub fn validate(&self) -> Result<(), String> {
         let mut rows_terminated = 0u64;
         let mut prev_tail_open = false;
+        let mut view = PacketScratch::new();
         for p in 0..self.num_packets() {
             let real = self.entries_in_packet(p);
-            let view = PacketView::parse(&self.packets[p], self.layout, real);
+            PacketView::parse_into(&self.packets[p], self.layout, real, &mut view);
             let mut prev_end = 0u32;
             for &end in &view.row_ends {
                 if end <= prev_end {
@@ -304,41 +329,99 @@ pub struct PacketView {
 
 impl PacketView {
     /// Parses a packet given its layout and real entry count.
+    ///
+    /// Allocates the field buffers per call; see [`PacketView::parse_into`]
+    /// for the allocation-free path hot loops use.
     pub fn parse(packet: &Packet512, layout: PacketLayout, real_entries: usize) -> Self {
-        let b = layout.entries_per_packet() as usize;
-        let mut r = BitReader::new(packet);
-        let new_row = r.read(1) == 1;
-        let mut row_ends = Vec::new();
-        for _ in 0..b {
-            let p = r.read(layout.ptr_bits()) as u32;
-            if p != 0 {
-                debug_assert!(
-                    row_ends.last().is_none_or(|&last| p > last),
-                    "ptr entries must be strictly increasing"
-                );
-                row_ends.push(p);
-            }
-        }
-        let mut idx = Vec::with_capacity(real_entries);
-        for j in 0..b {
-            let v = r.read(layout.idx_bits()) as u32;
-            if j < real_entries {
-                idx.push(v);
-            }
-        }
-        let mut val = Vec::with_capacity(real_entries);
-        for j in 0..b {
-            let v = r.read(layout.value_bits());
-            if j < real_entries {
-                val.push(v);
-            }
-        }
+        let mut scratch = PacketScratch::new();
+        Self::parse_into(packet, layout, real_entries, &mut scratch);
         Self {
-            new_row,
-            row_ends,
-            idx,
-            val,
+            new_row: scratch.new_row,
+            row_ends: scratch.row_ends,
+            idx: scratch.idx,
+            val: scratch.val,
         }
+    }
+
+    /// Parses a packet into `scratch`, overwriting whatever the scratch
+    /// held before (no state survives from a previous packet).
+    ///
+    /// This is the steady-state decode path: once the scratch vectors
+    /// have grown to the layout's `B`, parsing performs no heap
+    /// allocation at all — the software analogue of the hardware's
+    /// wire-speed field slicing.
+    pub fn parse_into(
+        packet: &Packet512,
+        layout: PacketLayout,
+        real_entries: usize,
+        scratch: &mut PacketScratch,
+    ) {
+        let b = layout.entries_per_packet() as usize;
+        debug_assert!(real_entries <= b, "more real entries than layout B");
+        debug_assert!(layout.bits_used() as usize <= crate::packet::PACKET_BITS);
+        let ptr_bits = layout.ptr_bits();
+        let idx_bits = layout.idx_bits();
+        let val_bits = layout.value_bits();
+        let words = packet.words();
+
+        // Field base offsets are fixed by the layout, so each field is a
+        // single two-word extract instead of a sequential cursor walk;
+        // padding fields past `real_entries` are never touched. The
+        // layout solver guarantees every field lies within the 512-bit
+        // packet (`bits_used() <= 512`), so `extract_field`'s masked
+        // indexing is exact, not a wrap-around.
+        scratch.new_row = words[0] & 1 == 1;
+
+        // The whole ptr region usually fits one extract (e.g. the paper's
+        // 15 x 4-bit = 60 bits); shift the fields out of a register.
+        scratch.row_ends.clear();
+        let ptr_mask = field_mask(ptr_bits);
+        let ptr_region = b as u32 * ptr_bits;
+        if ptr_region <= 64 {
+            let mut region = extract_field(words, 1, ptr_region, field_mask(ptr_region));
+            for _ in 0..b {
+                let p = (region & ptr_mask) as u32;
+                region >>= ptr_bits;
+                if p != 0 {
+                    debug_assert!(
+                        scratch.row_ends.last().is_none_or(|&last| p > last),
+                        "ptr entries must be strictly increasing"
+                    );
+                    scratch.row_ends.push(p);
+                }
+            }
+        } else {
+            let mut pos = 1usize;
+            for _ in 0..b {
+                let p = extract_field(words, pos, ptr_bits, ptr_mask) as u32;
+                pos += ptr_bits as usize;
+                if p != 0 {
+                    debug_assert!(
+                        scratch.row_ends.last().is_none_or(|&last| p > last),
+                        "ptr entries must be strictly increasing"
+                    );
+                    scratch.row_ends.push(p);
+                }
+            }
+        }
+
+        scratch.idx.clear();
+        let idx_mask = field_mask(idx_bits);
+        let mut pos = 1 + b * ptr_bits as usize;
+        scratch.idx.extend((0..real_entries).map(|_| {
+            let v = extract_field(words, pos, idx_bits, idx_mask) as u32;
+            pos += idx_bits as usize;
+            v
+        }));
+
+        scratch.val.clear();
+        let val_mask = field_mask(val_bits);
+        let mut pos = 1 + b * (ptr_bits + idx_bits) as usize;
+        scratch.val.extend((0..real_entries).map(|_| {
+            let v = extract_field(words, pos, val_bits, val_mask);
+            pos += val_bits as usize;
+            v
+        }));
     }
 
     /// Number of real entries.
@@ -358,16 +441,76 @@ impl PacketView {
     }
 }
 
+/// Caller-owned buffers for the allocation-free decode path
+/// ([`PacketView::parse_into`] / [`BsCsr::view_into`]).
+///
+/// Holds the same fields as [`PacketView`], but reused across packets:
+/// each parse clears and refills the vectors, so after the first few
+/// packets their capacity is warm and decoding allocates nothing.
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_sparse::{BsCsr, Csr, PacketLayout, PacketScratch};
+///
+/// let csr = Csr::from_triplets(2, 8, &[(0, 3, 0.5), (1, 7, 0.75)])?;
+/// let bs = BsCsr::encode::<tkspmv_fixed::Q1_19>(&csr, PacketLayout::solve(8, 20)?);
+/// let mut scratch = PacketScratch::new();
+/// for p in 0..bs.num_packets() {
+///     bs.view_into(p, &mut scratch);
+///     assert_eq!(scratch.len(), bs.entries_in_packet(p));
+/// }
+/// # Ok::<(), tkspmv_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketScratch {
+    /// Whether the first entry starts a new row.
+    pub new_row: bool,
+    /// Cumulative in-packet entry counts at which rows end (strictly
+    /// increasing, 1-based).
+    pub row_ends: Vec<u32>,
+    /// Column indices of the real entries.
+    pub idx: Vec<u32>,
+    /// Raw value bits of the real entries.
+    pub val: Vec<u64>,
+}
+
+impl PacketScratch {
+    /// Creates an empty scratch; the first parse sizes its buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of real entries in the last parsed packet.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Whether the last parsed packet held no real entries.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Number of entries after the last row end — the unfinished tail
+    /// carried into the next packet.
+    pub fn tail_len(&self) -> usize {
+        self.len() - self.row_ends.last().copied().unwrap_or(0) as usize
+    }
+}
+
 /// Iterator over `(row, col, raw_value)` produced by [`BsCsr::entries`].
 #[derive(Debug)]
 pub struct PacketEntries<'a> {
     matrix: &'a BsCsr,
     packet: usize,
     entry: usize,
-    view: Option<PacketView>,
+    /// Decode buffers reused across packets.
+    scratch: PacketScratch,
+    /// Whether the stream has run out of packets.
+    exhausted: bool,
     /// Row index of the current entry.
     row: u32,
-    /// Index into the current view's `row_ends`.
+    /// Index into the current packet's `row_ends`.
     seg: usize,
 }
 
@@ -376,26 +519,27 @@ impl Iterator for PacketEntries<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            let view = self.view.as_ref()?;
-            if self.entry >= view.len() {
+            if self.exhausted {
+                return None;
+            }
+            if self.entry >= self.scratch.len() {
                 // Advance to the next packet.
                 self.packet += 1;
                 if self.packet >= self.matrix.num_packets() {
-                    self.view = None;
+                    self.exhausted = true;
                     return None;
                 }
-                self.view = Some(self.matrix.view(self.packet));
+                self.matrix.view_into(self.packet, &mut self.scratch);
                 self.entry = 0;
                 self.seg = 0;
                 continue;
             }
-            let view = self.view.as_ref().expect("set above");
-            let col = view.idx[self.entry];
-            let raw = view.val[self.entry];
+            let col = self.scratch.idx[self.entry];
+            let raw = self.scratch.val[self.entry];
             let row = self.row;
             // If this entry closes a row segment, the next entry belongs
             // to the following row.
-            if view.row_ends.get(self.seg) == Some(&((self.entry + 1) as u32)) {
+            if self.scratch.row_ends.get(self.seg) == Some(&((self.entry + 1) as u32)) {
                 self.seg += 1;
                 self.row += 1;
             }

@@ -50,7 +50,7 @@ mod layout;
 mod packet;
 
 pub use bitio::{BitReader, BitWriter};
-pub use bscsr::{BsCsr, PacketEntries, PacketView};
+pub use bscsr::{BsCsr, PacketEntries, PacketScratch, PacketView};
 pub use coo::Coo;
 pub use coo_packet::{CooPacketKind, CooPackets};
 pub use csr::{Csr, RowStats};

@@ -56,6 +56,62 @@ impl Packet512 {
     pub fn count_ones(&self) -> u32 {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
+
+    /// Extracts the `bits`-wide field starting at bit `pos` — the
+    /// random-access counterpart of the sequential [`crate::BitReader`].
+    ///
+    /// A field spans at most two of the backing words (`bits <= 64`), so
+    /// this compiles to two shifts, an or, and a mask: the packet-decode
+    /// hot path calls it three times per entry at wire speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64, or if the field would
+    /// run past bit 512.
+    #[inline]
+    pub fn bits(&self, pos: usize, bits: u32) -> u64 {
+        assert!((1..=64).contains(&bits), "field width must be in 1..=64");
+        assert!(
+            pos + bits as usize <= PACKET_BITS,
+            "field of {bits} bits at position {pos} overflows the packet"
+        );
+        extract_field(&self.words, pos, bits, field_mask(bits))
+    }
+}
+
+/// Low `bits` set, for masking an extracted field (`bits <= 64`).
+#[inline(always)]
+pub(crate) fn field_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Branch-light two-word bitfield extract — the single shared core
+/// behind both the checked [`Packet512::bits`] and the decode hot loop
+/// in the BS-CSR codec.
+///
+/// The `& 7` index masking makes the word accesses provably in-bounds
+/// (no panic path in the generated code); callers guarantee
+/// `pos + bits <= 512` — the BS-CSR decoder gets that from the layout
+/// solver's `bits_used() <= 512` invariant — so the masking never
+/// actually wraps.
+#[inline(always)]
+pub(crate) fn extract_field(words: &[u64; 8], pos: usize, bits: u32, mask: u64) -> u64 {
+    debug_assert!(pos + bits as usize <= PACKET_BITS);
+    let word = (pos >> 6) & 7;
+    let offset = (pos & 63) as u32;
+    let lo = words[word] >> offset;
+    // Only fields that actually straddle a word boundary touch the next
+    // word (offset > 0 there, so the shift below is in range).
+    let hi = if offset + bits > 64 {
+        words[(word + 1) & 7] << (64 - offset)
+    } else {
+        0
+    };
+    (lo | hi) & mask
 }
 
 impl fmt::Debug for Packet512 {
@@ -95,5 +151,41 @@ mod tests {
         let p = Packet512::from_words([0xAB, 0, 0, 0, 0, 0, 0, 0]);
         let s = format!("{p:?}");
         assert!(s.contains("00000000000000ab"), "{s}");
+    }
+
+    #[test]
+    fn bits_matches_sequential_reader_on_every_alignment() {
+        // A packet with varied bit patterns in every word.
+        let p = Packet512::from_words([
+            0x0123_4567_89AB_CDEF,
+            0xFEDC_BA98_7654_3210,
+            0xA5A5_A5A5_A5A5_A5A5,
+            0x5A5A_5A5A_5A5A_5A5A,
+            0xFFFF_0000_FFFF_0000,
+            0x0000_FFFF_0000_FFFF,
+            0xDEAD_BEEF_CAFE_F00D,
+            0x1357_9BDF_0246_8ACE,
+        ]);
+        for bits in [1u32, 4, 10, 20, 33, 64] {
+            for pos in 0..(PACKET_BITS - bits as usize + 1) {
+                let mut r = crate::BitReader::new(&p);
+                r.skip(pos as u32);
+                assert_eq!(p.bits(pos, bits), r.read(bits), "pos={pos} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits_reads_last_field_of_packet() {
+        let mut p = Packet512::ZERO;
+        p.words_mut()[7] = 0xF000_0000_0000_0000;
+        assert_eq!(p.bits(508, 4), 0xF);
+        assert_eq!(p.bits(448, 64), 0xF000_0000_0000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the packet")]
+    fn bits_rejects_out_of_range_field() {
+        let _ = Packet512::ZERO.bits(509, 4);
     }
 }

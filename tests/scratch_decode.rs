@@ -1,0 +1,142 @@
+//! Property tests for the allocation-free packet decode path:
+//! `PacketView::parse_into` must be observationally identical to the
+//! allocating `PacketView::parse` on any valid packet stream, and a
+//! reused scratch must never leak state from a previously parsed packet.
+
+use proptest::prelude::*;
+use tkspmv_fixed::{Q1_19, Q1_31};
+use tkspmv_sparse::{BitReader, BsCsr, Csr, PacketLayout, PacketScratch, PacketView};
+
+/// Strategy: a random sparse matrix as sorted unique triplets with
+/// values in the unsigned datapath domain (0, 1].
+fn arb_matrix() -> impl Strategy<Value = Csr> {
+    (1usize..40, 1usize..200).prop_flat_map(|(rows, cols)| {
+        proptest::collection::btree_set((0..rows as u32, 0..cols as u32), 0..200).prop_map(
+            move |coords| {
+                let triplets: Vec<(u32, u32, f32)> = coords
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, c))| (r, c, ((i % 997) + 1) as f32 / 1000.0))
+                    .collect();
+                Csr::from_triplets(rows, cols, &triplets).expect("valid by construction")
+            },
+        )
+    })
+}
+
+/// The fields `parse_into` fills, lifted out of the scratch for
+/// comparison against a `PacketView`.
+fn scratch_fields(s: &PacketScratch) -> (bool, Vec<u32>, Vec<u32>, Vec<u64>) {
+    (s.new_row, s.row_ends.clone(), s.idx.clone(), s.val.clone())
+}
+
+fn view_fields(v: &PacketView) -> (bool, Vec<u32>, Vec<u32>, Vec<u64>) {
+    (v.new_row, v.row_ends.clone(), v.idx.clone(), v.val.clone())
+}
+
+/// Independent reference decoder: a sequential `BitReader` walk over
+/// every field, including the padding fields the production decoder
+/// skips. `PacketView::parse` delegates to `parse_into`, so this — not
+/// `parse` — is the oracle that keeps the equivalence test from being
+/// circular.
+fn bitreader_oracle(bs: &BsCsr, p: usize) -> (bool, Vec<u32>, Vec<u32>, Vec<u64>) {
+    let layout = bs.layout();
+    let b = layout.entries_per_packet() as usize;
+    let real = bs.entries_in_packet(p);
+    let mut r = BitReader::new(&bs.packets()[p]);
+    let new_row = r.read(1) == 1;
+    let mut row_ends = Vec::new();
+    for _ in 0..b {
+        let v = r.read(layout.ptr_bits()) as u32;
+        if v != 0 {
+            row_ends.push(v);
+        }
+    }
+    let mut idx = Vec::new();
+    for j in 0..b {
+        let v = r.read(layout.idx_bits()) as u32;
+        if j < real {
+            idx.push(v);
+        }
+    }
+    let mut val = Vec::new();
+    for j in 0..b {
+        let v = r.read(layout.value_bits());
+        if j < real {
+            val.push(v);
+        }
+    }
+    (new_row, row_ends, idx, val)
+}
+
+/// Pollutes a scratch so any field `parse_into` fails to overwrite shows
+/// up as a mismatch (stale lengths, stale values, stale `new_row`).
+fn pollute(s: &mut PacketScratch) {
+    s.new_row = !s.new_row;
+    s.row_ends.extend([u32::MAX, 7, 7, 0]);
+    s.idx.extend([u32::MAX; 40]);
+    s.val.extend([u64::MAX; 40]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parse_into_matches_parse_for_any_packet_stream(csr in arb_matrix()) {
+        for value_bits in [20u32, 32] {
+            let layout = PacketLayout::solve(csr.num_cols(), value_bits).unwrap();
+            let bs = if value_bits == 20 {
+                BsCsr::encode::<Q1_19>(&csr, layout)
+            } else {
+                BsCsr::encode::<Q1_31>(&csr, layout)
+            };
+            // One scratch reused across the whole stream, in order.
+            let mut scratch = PacketScratch::new();
+            for p in 0..bs.num_packets() {
+                let oracle = bitreader_oracle(&bs, p);
+                let view = bs.view(p);
+                bs.view_into(p, &mut scratch);
+                prop_assert_eq!(
+                    scratch_fields(&scratch),
+                    oracle.clone(),
+                    "scratch decode vs BitReader oracle, packet {} of {} (V={})",
+                    p, bs.num_packets(), value_bits
+                );
+                prop_assert_eq!(
+                    view_fields(&view),
+                    oracle,
+                    "allocating parse vs BitReader oracle, packet {} of {} (V={})",
+                    p, bs.num_packets(), value_bits
+                );
+                prop_assert_eq!(scratch.len(), view.len());
+                prop_assert_eq!(scratch.is_empty(), view.is_empty());
+                prop_assert_eq!(scratch.tail_len(), view.tail_len());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_never_leaks_previous_packet_state(csr in arb_matrix()) {
+        let layout = PacketLayout::solve(csr.num_cols(), 20).unwrap();
+        let bs = BsCsr::encode::<Q1_19>(&csr, layout);
+        // Parse the stream backwards with a scratch polluted before every
+        // packet: each parse must fully overwrite whatever was there.
+        let mut scratch = PacketScratch::new();
+        for p in (0..bs.num_packets()).rev() {
+            pollute(&mut scratch);
+            bs.view_into(p, &mut scratch);
+            prop_assert_eq!(
+                scratch_fields(&scratch),
+                view_fields(&bs.view(p)),
+                "packet {} parsed into a dirty scratch", p
+            );
+        }
+        // And parsing the same packet twice is idempotent.
+        if bs.num_packets() > 0 {
+            bs.view_into(0, &mut scratch);
+            let first = scratch_fields(&scratch);
+            bs.view_into(0, &mut scratch);
+            prop_assert_eq!(scratch_fields(&scratch), first);
+        }
+    }
+}
