@@ -394,35 +394,33 @@ mod tests {
     }
 
     #[test]
-    fn backend_trait_matches_direct_run() {
+    fn backend_trait_matches_direct_run() -> Result<(), EngineError> {
         let csr = matrix();
         let x = query_vector(256, 4);
         let full: &dyn TopKBackend = &GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32);
         let ideal_owned =
             GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32).with_zero_cost_sort();
         let ideal: &dyn TopKBackend = &ideal_owned;
-        let prepared = full.prepare(&csr).unwrap();
+        let prepared = full.prepare(&csr)?;
         let direct = GpuModel::tesla_p100().run(&csr, x.as_slice(), 30, GpuPrecision::F32);
 
-        let out = full.query(&prepared, &x, 30).unwrap();
+        let out = full.query(&prepared, &x, 30)?;
         assert_eq!(out.topk, direct.topk);
         assert!((out.perf.seconds - direct.total_seconds()).abs() < 1e-12);
 
         // Zero-cost sort: same ranking, SpMV-only billing, shared state.
-        let out = ideal.query(&prepared, &x, 30).unwrap();
+        // The typed `gpu_timings` accessor replaces matching the stats
+        // variant by hand (a wrong variant is an error, not a panic).
+        let out = ideal.query(&prepared, &x, 30)?;
         assert_eq!(out.topk, direct.topk);
         assert!((out.perf.seconds - direct.spmv_seconds).abs() < 1e-12);
-        match out.stats {
-            BackendStats::Gpu {
-                spmv_seconds,
-                sort_seconds,
-                zero_cost_sort,
-            } => {
-                assert!(zero_cost_sort);
-                assert!(sort_seconds > spmv_seconds);
-            }
-            other => panic!("wrong stats variant: {other:?}"),
-        }
+        let (spmv_seconds, sort_seconds, zero_cost_sort) = out
+            .stats
+            .gpu_timings()
+            .ok_or_else(|| EngineError::bad_query("GPU query must report BackendStats::Gpu"))?;
+        assert!(zero_cost_sort);
+        assert!(sort_seconds > spmv_seconds);
+        Ok(())
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Micro-batching on vs off through the serving layer, measured as one
+//! closed-loop burst: 8 concurrent clients, 4 queries each, against the
+//! same 2-shard accelerator layout.
+//!
+//! With `BatchPolicy::immediate` every request is its own backend
+//! dispatch (per-request thread spawns and quantisation); with a
+//! coalescing policy the burst rides a handful of batches. The
+//! difference is the serving layer's contribution, independent of the
+//! engine's own batch speedup (see the `batch_query` bench for that).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tkspmv::Accelerator;
+use tkspmv_serve::{BatchPolicy, TopKService};
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::Csr;
+
+const DIM: usize = 256;
+const K: usize = 32;
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 4;
+
+fn collection() -> Csr {
+    SyntheticConfig {
+        num_rows: 6_000,
+        num_cols: DIM,
+        avg_nnz_per_row: 12,
+        distribution: NnzDistribution::Uniform,
+        seed: 42,
+    }
+    .generate()
+}
+
+fn service(csr: &Csr, policy: BatchPolicy) -> TopKService {
+    let backend = Arc::new(
+        Accelerator::builder()
+            .cores(8)
+            .k(16)
+            .build()
+            .expect("builds"),
+    );
+    TopKService::builder(backend)
+        .shards(2)
+        .batch_policy(policy)
+        .build(csr)
+        .expect("service builds")
+}
+
+fn closed_loop_burst(svc: &TopKService) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut answered = 0;
+                    for q in 0..QUERIES_PER_CLIENT {
+                        let x = query_vector(DIM, (client * 31 + q) as u64);
+                        answered += svc.query(x, K).expect("query").topk.len();
+                    }
+                    answered
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    })
+}
+
+fn batching_on_vs_off(c: &mut Criterion) {
+    let csr = collection();
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements((CLIENTS * QUERIES_PER_CLIENT) as u64));
+    for (name, policy) in [
+        ("batch_off/8x4", BatchPolicy::immediate()),
+        (
+            "batch_on/8x4",
+            BatchPolicy::coalescing(32, Duration::from_millis(2)),
+        ),
+    ] {
+        let svc = service(&csr, policy);
+        group.bench_function(name, |b| b.iter(|| closed_loop_burst(&svc)));
+        svc.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batching_on_vs_off);
+criterion_main!(benches);

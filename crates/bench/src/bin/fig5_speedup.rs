@@ -3,6 +3,7 @@
 
 use tkspmv_bench::{banner, Cli};
 use tkspmv_eval::experiments::speedup;
+use tkspmv_eval::EvalError;
 
 fn main() {
     let cli = Cli::from_env();
@@ -11,21 +12,27 @@ fn main() {
         "DAC'21 Figure 5 (CPU measured on this host; GPU/FPGA modelled)",
         &cli,
     );
-    let rows = speedup::run(&cli.config);
+    if let Err(e) = run(&cli) {
+        eprintln!("fig5_speedup failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cli: &Cli) -> Result<(), EvalError> {
+    let rows = speedup::run(&cli.config)?;
     print!("{}", speedup::to_table(&rows).to_markdown());
     println!();
     println!("paper reference (N = 10^7 panel): GPU F32 SpMV 51x, GPU F16 SpMV 58x,");
     println!("  FPGA 20b 106x, 25b 88x, 32b 89x, F32 43x; FPGA 20b ~2x idealised GPU");
     for r in &rows {
-        let fpga20 = r.speedup_of("fpga-20b").expect("fpga-20b in roster");
-        let gpu_ideal = r
-            .speedup_of("gpu-f32-spmv")
-            .expect("gpu-f32-spmv in roster");
+        let fpga20 = r.speedup_of("fpga-20b")?;
+        let gpu_ideal = r.speedup_of("gpu-f32-spmv")?;
         println!(
             "  {}: FPGA20b/GPU-F32-SpMV ratio = {:.2}x, throughput {:.1} GNNZ/s",
             r.group.label(),
             fpga20 / gpu_ideal,
-            r.fpga20_nnz_per_sec() / 1e9,
+            r.fpga20_nnz_per_sec()? / 1e9,
         );
     }
+    Ok(())
 }

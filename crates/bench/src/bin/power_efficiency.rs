@@ -12,7 +12,13 @@ fn main() {
         "DAC'21 SV-B: 400x CPU and 14.2x GPU performance/W",
         &cli,
     );
-    let rows = power::run(&cli.config);
+    let rows = match power::run(&cli.config) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("power_efficiency failed: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", power::to_table(&rows).to_markdown());
     println!();
     println!("paper reference: FPGA 35 W, CPU ~300 W, GPU 250 W; fixed-point FPGA");

@@ -1,11 +1,53 @@
 //! Runs every table/figure reproduction in sequence — the one-shot
 //! regeneration of the paper's evaluation section.
+//!
+//! A failing sub-experiment (typed error *or* panic) no longer takes
+//! the sweep down silently: the failure is reported, the remaining
+//! sections still run, and the process exits nonzero if anything
+//! failed.
+
+use std::panic::{catch_unwind, UnwindSafe};
 
 use tkspmv_bench::{banner, Cli};
 use tkspmv_eval::experiments::{
     ablation, accuracy, datasets_table, packing, precision_table, resources_table, roofline,
     speedup,
 };
+
+/// Tracks how many sections ran and which of them failed.
+#[derive(Default)]
+struct Sweep {
+    ran: usize,
+    failures: Vec<String>,
+}
+
+impl Sweep {
+    /// Runs one section, printing its table on success and recording
+    /// the failure (error or panic) otherwise.
+    fn section<F>(&mut self, name: &str, body: F)
+    where
+        F: FnOnce() -> Result<String, String> + UnwindSafe,
+    {
+        self.ran += 1;
+        println!("--- {name} ---");
+        match catch_unwind(body) {
+            Ok(Ok(rendered)) => print!("{rendered}"),
+            Ok(Err(error)) => {
+                eprintln!("{name} failed: {error}");
+                self.failures.push(name.to_string());
+            }
+            Err(payload) => {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                eprintln!("{name} panicked: {detail}");
+                self.failures.push(name.to_string());
+            }
+        }
+    }
+}
 
 fn main() {
     let cli = Cli::from_env();
@@ -15,51 +57,49 @@ fn main() {
         &cli,
     );
 
-    println!("--- Table I ---");
-    print!(
-        "{}",
-        precision_table::to_table(&precision_table::run(cli.trials, cli.config.seed)).to_markdown()
-    );
-    println!("\n--- Table II ---");
-    print!(
-        "{}",
-        resources_table::to_table(&resources_table::run()).to_markdown()
-    );
-    println!("\n--- Table III ---");
-    print!(
-        "{}",
-        datasets_table::to_table(&datasets_table::run(&cli.config)).to_markdown()
-    );
-    println!("\n--- Figure 3 ---");
-    print!("{}", packing::to_table(&packing::run()).to_markdown());
-    println!("\n--- Figure 5 ---");
-    print!(
-        "{}",
-        speedup::to_table(&speedup::run(&cli.config)).to_markdown()
-    );
-    println!("\n--- Figure 6a ---");
-    print!(
-        "{}",
-        roofline::series_table(&roofline::bandwidth_series()).to_markdown()
-    );
-    println!("\n--- Figure 6b ---");
-    print!(
-        "{}",
-        roofline::points_table(&roofline::architecture_points(&cli.config)).to_markdown()
-    );
-    println!("\n--- Figure 7 ---");
-    print!(
-        "{}",
-        accuracy::to_table(&accuracy::run(&cli.config)).to_markdown()
-    );
-    println!("\n--- Ablation: r ---");
-    print!(
-        "{}",
-        ablation::r_sweep_table(&ablation::run_r_sweep(&cli.config)).to_markdown()
-    );
-    println!("\n--- Ablation: layout ---");
-    print!(
-        "{}",
-        ablation::layout_table(&ablation::run_layout_sweep()).to_markdown()
-    );
+    let mut sweep = Sweep::default();
+    sweep.section("Table I", || {
+        Ok(
+            precision_table::to_table(&precision_table::run(cli.trials, cli.config.seed))
+                .to_markdown(),
+        )
+    });
+    sweep.section("Table II", || {
+        Ok(resources_table::to_table(&resources_table::run()).to_markdown())
+    });
+    sweep.section("Table III", || {
+        Ok(datasets_table::to_table(&datasets_table::run(&cli.config)).to_markdown())
+    });
+    sweep.section("Figure 3", || {
+        Ok(packing::to_table(&packing::run()).to_markdown())
+    });
+    sweep.section("Figure 5", || {
+        let rows = speedup::run(&cli.config).map_err(|e| e.to_string())?;
+        Ok(speedup::to_table(&rows).to_markdown())
+    });
+    sweep.section("Figure 6a", || {
+        Ok(roofline::series_table(&roofline::bandwidth_series()).to_markdown())
+    });
+    sweep.section("Figure 6b", || {
+        Ok(roofline::points_table(&roofline::architecture_points(&cli.config)).to_markdown())
+    });
+    sweep.section("Figure 7", || {
+        Ok(accuracy::to_table(&accuracy::run(&cli.config)).to_markdown())
+    });
+    sweep.section("Ablation: r", || {
+        Ok(ablation::r_sweep_table(&ablation::run_r_sweep(&cli.config)).to_markdown())
+    });
+    sweep.section("Ablation: layout", || {
+        Ok(ablation::layout_table(&ablation::run_layout_sweep()).to_markdown())
+    });
+
+    if !sweep.failures.is_empty() {
+        eprintln!(
+            "\n{} of {} sections failed: {}",
+            sweep.failures.len(),
+            sweep.ran,
+            sweep.failures.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

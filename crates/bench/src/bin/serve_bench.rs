@@ -1,0 +1,146 @@
+//! Closed-loop serving benchmark: throughput vs client concurrency,
+//! micro-batching on vs off, on one fixed shard layout.
+//!
+//! Each configuration builds a fresh [`TopKService`] over the same
+//! collection and shard count, then runs `C` closed-loop clients
+//! (submit, wait, repeat) for a fixed measurement window. The contrast
+//! is the batching policy alone: `batch=1` dispatches every request as
+//! its own backend batch; `batch=32` lets the batcher coalesce
+//! concurrent requests so the accelerator pays one thread-spawn /
+//! quantisation dispatch per coalesced batch instead of per request.
+//!
+//! The final JSON block is the source of the checked-in
+//! `BENCH_serve.json` record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tkspmv::Accelerator;
+use tkspmv_serve::{BatchPolicy, TopKService};
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::Csr;
+
+const DIM: usize = 256;
+const K: usize = 32;
+const SHARDS: usize = 2;
+const MEASURE: Duration = Duration::from_millis(700);
+const CLIENTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn collection() -> Csr {
+    SyntheticConfig {
+        num_rows: 6_000,
+        num_cols: DIM,
+        avg_nnz_per_row: 12,
+        distribution: NnzDistribution::Uniform,
+        seed: 42,
+    }
+    .generate()
+}
+
+struct Measurement {
+    policy: &'static str,
+    clients: usize,
+    throughput_qps: f64,
+    p50_us: u128,
+    p99_us: u128,
+    mean_batch: f64,
+}
+
+fn measure(
+    csr: &Csr,
+    policy_name: &'static str,
+    policy: BatchPolicy,
+    clients: usize,
+) -> Measurement {
+    let backend = Arc::new(
+        Accelerator::builder()
+            .cores(8)
+            .k(16)
+            .build()
+            .expect("paper-style design builds"),
+    );
+    let service = TopKService::builder(backend)
+        .shards(SHARDS)
+        .batch_policy(policy)
+        .queue_capacity(1024)
+        .build(csr)
+        .expect("service builds");
+
+    // Warm-up: touch every shard pool once.
+    for seed in 0..4 {
+        service.query(query_vector(DIM, seed), K).expect("warmup");
+    }
+
+    let served = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let service = &service;
+            let served = &served;
+            scope.spawn(move || {
+                let mut seed = 1000 * client as u64;
+                while start.elapsed() < MEASURE {
+                    seed += 1;
+                    service
+                        .query(query_vector(DIM, seed), K)
+                        .expect("closed-loop query");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let metrics = service.shutdown();
+    Measurement {
+        policy: policy_name,
+        clients,
+        throughput_qps: served.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+        p50_us: metrics.latency_p50.as_micros(),
+        p99_us: metrics.latency_p99.as_micros(),
+        mean_batch: metrics.mean_batch_size,
+    }
+}
+
+fn main() {
+    let csr = collection();
+    println!(
+        "serve_bench: {} rows x {} cols, {} nnz, {SHARDS} shards, K = {K}, fpga-20b (8 cores, k = 16)",
+        csr.num_rows(),
+        csr.num_cols(),
+        csr.nnz()
+    );
+    println!(
+        "{:<12} {:>8} {:>14} {:>10} {:>10} {:>11}",
+        "policy", "clients", "qps", "p50 (us)", "p99 (us)", "mean batch"
+    );
+    let mut all = Vec::new();
+    for (name, policy) in [
+        ("batch=1", BatchPolicy::immediate()),
+        (
+            "batch=32",
+            BatchPolicy::coalescing(32, Duration::from_millis(2)),
+        ),
+    ] {
+        for clients in CLIENTS {
+            let m = measure(&csr, name, policy, clients);
+            println!(
+                "{:<12} {:>8} {:>14.1} {:>10} {:>10} {:>11.2}",
+                m.policy, m.clients, m.throughput_qps, m.p50_us, m.p99_us, m.mean_batch
+            );
+            all.push(m);
+        }
+    }
+
+    // Machine-readable record for BENCH_serve.json.
+    println!("\nJSON:");
+    println!("[");
+    for (i, m) in all.iter().enumerate() {
+        let comma = if i + 1 == all.len() { "" } else { "," };
+        println!(
+            "  {{\"policy\": \"{}\", \"clients\": {}, \"throughput_qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"mean_batch_size\": {:.2}}}{comma}",
+            m.policy, m.clients, m.throughput_qps, m.p50_us, m.p99_us, m.mean_batch
+        );
+    }
+    println!("]");
+}

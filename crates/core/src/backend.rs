@@ -190,6 +190,83 @@ impl PreparedMatrix {
             .downcast_ref::<T>()
             .ok_or_else(|| EngineError::corrupt_prepared_state(family))
     }
+
+    /// Splits an embedding collection into `shards` row-contiguous
+    /// partitions and prepares each one through `backend` — the
+    /// serving-layer analogue of the paper's per-HBM-channel row
+    /// partitioning, one level up: each shard is an independently
+    /// prepared collection a worker pool can own.
+    ///
+    /// A query is answered by running it against every shard and merging
+    /// the per-shard Top-K lists with [`TopKResult::merge_pairs`] after
+    /// re-basing local row indices via [`MatrixShard::globalize`]. For
+    /// exact backends that reproduces the unsharded answer bit-for-bit;
+    /// for the approximate accelerator the shard layout *is* part of the
+    /// approximation (exactly as the core-partition layout is in §III-A),
+    /// so results are reproducible per layout rather than
+    /// layout-invariant.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] if `shards` is zero or exceeds the
+    /// row count; otherwise whatever [`TopKBackend::prepare`] reports
+    /// for a shard.
+    pub fn prepare_row_shards(
+        backend: &dyn TopKBackend,
+        csr: &Csr,
+        shards: usize,
+    ) -> Result<Vec<MatrixShard>, EngineError> {
+        if shards == 0 || shards > csr.num_rows() {
+            return Err(EngineError::bad_shard_count(shards, csr.num_rows()));
+        }
+        csr.partition_rows(shards)
+            .into_iter()
+            .map(|(start_row, part)| {
+                Ok(MatrixShard {
+                    start_row,
+                    matrix: backend.prepare(&part)?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One row-contiguous shard of a collection prepared through
+/// [`PreparedMatrix::prepare_row_shards`]: a [`PreparedMatrix`] over the
+/// shard's rows plus the global index of its first row, so shard-local
+/// Top-K answers can be re-based into collection coordinates.
+#[derive(Debug)]
+pub struct MatrixShard {
+    start_row: usize,
+    matrix: PreparedMatrix,
+}
+
+impl MatrixShard {
+    /// Global index of this shard's first row.
+    pub fn start_row(&self) -> usize {
+        self.start_row
+    }
+
+    /// Rows held by this shard.
+    pub fn num_rows(&self) -> usize {
+        self.matrix.num_rows()
+    }
+
+    /// The prepared collection covering this shard's rows.
+    pub fn matrix(&self) -> &PreparedMatrix {
+        &self.matrix
+    }
+
+    /// Re-bases a shard-local Top-K answer into global row indices,
+    /// yielding `(row, score)` pairs ready for
+    /// [`TopKResult::merge_pairs`].
+    pub fn globalize(&self, topk: &TopKResult) -> Vec<(u32, f64)> {
+        let base = self.start_row as u32;
+        topk.entries()
+            .iter()
+            .map(|&(row, score)| (row + base, score))
+            .collect()
+    }
 }
 
 /// A non-empty set of equal-dimension query vectors answered as one
@@ -358,6 +435,21 @@ impl BackendStats {
     pub fn perf_report(&self) -> Option<&PerfReport> {
         match self {
             BackendStats::Fpga { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The GPU model's component timings as
+    /// `(spmv_seconds, sort_seconds, zero_cost_sort)`, if this result
+    /// came from the GPU baseline — the typed alternative to matching
+    /// the [`BackendStats::Gpu`] variant by hand.
+    pub fn gpu_timings(&self) -> Option<(f64, f64, bool)> {
+        match *self {
+            BackendStats::Gpu {
+                spmv_seconds,
+                sort_seconds,
+                zero_cost_sort,
+            } => Some((spmv_seconds, sort_seconds, zero_cost_sort)),
             _ => None,
         }
     }
@@ -542,6 +634,56 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 4);
         assert_eq!(a.dim(), 32);
+    }
+
+    #[test]
+    fn row_shards_cover_the_collection_and_globalize_indices() {
+        let backend = accelerator_backend();
+        let csr = small_matrix();
+        let shards = PreparedMatrix::prepare_row_shards(backend.as_ref(), &csr, 3).unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].start_row(), 0);
+        let covered: usize = shards.iter().map(MatrixShard::num_rows).sum();
+        assert_eq!(covered, csr.num_rows());
+        for pair in shards.windows(2) {
+            assert_eq!(
+                pair[1].start_row(),
+                pair[0].start_row() + pair[0].num_rows()
+            );
+        }
+        // Query the last shard: globalized indices land in its row range.
+        let last = &shards[2];
+        let out = backend
+            .query(last.matrix(), &query_vector(256, 5), 10)
+            .unwrap();
+        for (row, score) in last.globalize(&out.topk) {
+            assert!((row as usize) >= last.start_row());
+            assert!((row as usize) < last.start_row() + last.num_rows());
+            assert!(score.is_finite());
+        }
+    }
+
+    #[test]
+    fn bad_shard_counts_are_typed_errors() {
+        let backend = accelerator_backend();
+        let csr = small_matrix();
+        for shards in [0, csr.num_rows() + 1] {
+            let err =
+                PreparedMatrix::prepare_row_shards(backend.as_ref(), &csr, shards).unwrap_err();
+            assert!(matches!(err, EngineError::InvalidConfig { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn gpu_timings_only_on_gpu_stats() {
+        let fpga = BackendStats::Cpu { threads: 4 };
+        assert!(fpga.gpu_timings().is_none());
+        let gpu = BackendStats::Gpu {
+            spmv_seconds: 0.25,
+            sort_seconds: 0.5,
+            zero_cost_sort: true,
+        };
+        assert_eq!(gpu.gpu_timings(), Some((0.25, 0.5, true)));
     }
 
     #[test]

@@ -108,6 +108,14 @@ impl EngineError {
     pub fn empty_batch() -> Self {
         Self::bad_query("query batch must contain at least one query")
     }
+
+    /// A shard plan asked for zero row shards, or more shards than the
+    /// matrix has rows.
+    pub fn bad_shard_count(shards: usize, rows: usize) -> Self {
+        Self::invalid_config(format!(
+            "cannot split {rows} rows into {shards} row shards; need 1..={rows}"
+        ))
+    }
 }
 
 impl fmt::Display for EngineError {

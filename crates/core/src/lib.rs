@@ -82,7 +82,8 @@ pub use accelerator::{
     Accelerator, AcceleratorBuilder, AcceleratorConfig, LoadedMatrix, QueryOutput,
 };
 pub use backend::{
-    BackendPerf, BackendStats, PreparedMatrix, QueryBatch, QueryResult, TimingSource, TopKBackend,
+    BackendPerf, BackendStats, MatrixShard, PreparedMatrix, QueryBatch, QueryResult, TimingSource,
+    TopKBackend,
 };
 pub use engine::{
     quantize_vector, run_core, run_core_with_scratch, run_multicore, run_multicore_batch,

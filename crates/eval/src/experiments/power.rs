@@ -14,7 +14,7 @@ use tkspmv_hw::{DesignPoint, ResourceModel};
 
 use crate::experiments::speedup::{self, SpeedupRow};
 use crate::report::{fnum, Table};
-use crate::ExpConfig;
+use crate::{EvalError, ExpConfig};
 
 /// Device power assumptions, in watts (paper §V-B).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,15 +54,20 @@ pub struct PowerRow {
 }
 
 /// Derives the §V-B comparison from a Figure 5 speedup row.
-pub fn run_from_speedup(row: &SpeedupRow, assumptions: PowerAssumptions) -> Vec<PowerRow> {
+///
+/// # Errors
+///
+/// [`EvalError::MissingBackend`] if the row's roster lacks a backend
+/// this table derives from (the GPU F32 variants and every FPGA
+/// design).
+pub fn run_from_speedup(
+    row: &SpeedupRow,
+    assumptions: PowerAssumptions,
+) -> Result<Vec<PowerRow>, EvalError> {
     let model = ResourceModel::alveo_u280();
     let nnz = row.nnz as f64;
     // Throughputs implied by the shared CPU baseline time.
     let thr = |speedup: f64| nnz / (row.cpu_seconds / speedup) / 1e9;
-    let sp = |backend: &str| {
-        row.speedup_of(backend)
-            .unwrap_or_else(|| panic!("{backend} missing from the Figure 5 roster"))
-    };
     let mut rows = vec![
         (
             "CPU (2x Xeon 6248)".to_string(),
@@ -71,28 +76,27 @@ pub fn run_from_speedup(row: &SpeedupRow, assumptions: PowerAssumptions) -> Vec<
         ),
         (
             "GPU F32, zero-cost sort".to_string(),
-            thr(sp("gpu-f32-spmv")),
+            thr(row.speedup_of("gpu-f32-spmv")?),
             assumptions.gpu_w,
         ),
         (
             "GPU F32, with sort".to_string(),
-            thr(sp("gpu-f32")),
+            thr(row.speedup_of("gpu-f32")?),
             assumptions.gpu_w,
         ),
     ];
     for precision in Precision::FPGA_DESIGNS {
         let d = DesignPoint::paper_design(precision);
+        let backend = format!("fpga-{}", precision.label().to_ascii_lowercase());
         rows.push((
             format!("FPGA {}", precision.label()),
-            thr(sp(&format!(
-                "fpga-{}",
-                precision.label().to_ascii_lowercase()
-            ))),
+            thr(row.speedup_of(&backend)?),
             model.power_w(&d),
         ));
     }
     let gpu_ppw = rows[1].1 * 1e3 / rows[1].2; // MNNZ/s per W
-    rows.into_iter()
+    Ok(rows
+        .into_iter()
         .map(|(arch, gnnz, device_w)| {
             let ppw = gnnz * 1e3 / device_w;
             PowerRow {
@@ -103,12 +107,17 @@ pub fn run_from_speedup(row: &SpeedupRow, assumptions: PowerAssumptions) -> Vec<
                 vs_gpu: ppw / gpu_ppw,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Runs the full §V-B experiment on the `N = 10^7` panel.
-pub fn run(config: &ExpConfig) -> Vec<PowerRow> {
-    let speedups = speedup::run(config);
+///
+/// # Errors
+///
+/// As [`run_from_speedup`], plus [`EvalError::Engine`] if the
+/// underlying Figure 5 experiment fails.
+pub fn run(config: &ExpConfig) -> Result<Vec<PowerRow>, EvalError> {
+    let speedups = speedup::run(config)?;
     run_from_speedup(&speedups[1], PowerAssumptions::default())
 }
 
@@ -171,21 +180,22 @@ mod tests {
     }
 
     #[test]
-    fn fpga_beats_gpu_by_order_of_magnitude_per_watt() {
+    fn fpga_beats_gpu_by_order_of_magnitude_per_watt() -> Result<(), crate::EvalError> {
         // Paper: 14.2x higher performance/W than the idealised GPU.
-        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default());
+        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default())?;
         let fpga20 = rows.iter().find(|r| r.arch == "FPGA 20b").unwrap();
         assert!(
             (10.0..20.0).contains(&fpga20.vs_gpu),
             "FPGA/GPU perf/W = {:.1} (paper: 14.2x)",
             fpga20.vs_gpu
         );
+        Ok(())
     }
 
     #[test]
-    fn fpga_beats_cpu_by_hundreds_per_watt() {
+    fn fpga_beats_cpu_by_hundreds_per_watt() -> Result<(), crate::EvalError> {
         // Paper: 400x higher performance/W than the CPU.
-        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default());
+        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default())?;
         let cpu = rows.iter().find(|r| r.arch.starts_with("CPU")).unwrap();
         let fpga20 = rows.iter().find(|r| r.arch == "FPGA 20b").unwrap();
         let ratio = fpga20.mnnz_per_watt / cpu.mnnz_per_watt;
@@ -193,19 +203,32 @@ mod tests {
             (300.0..1200.0).contains(&ratio),
             "FPGA/CPU perf/W = {ratio:.0}"
         );
+        Ok(())
     }
 
     #[test]
-    fn fixed_point_designs_are_most_efficient() {
-        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default());
+    fn fixed_point_designs_are_most_efficient() -> Result<(), crate::EvalError> {
+        let rows = run_from_speedup(&synthetic_row(), PowerAssumptions::default())?;
         let get = |name: &str| rows.iter().find(|r| r.arch == name).unwrap().mnnz_per_watt;
         assert!(get("FPGA 20b") > get("FPGA F32"));
         assert!(get("FPGA 20b") > get("GPU F32, zero-cost sort"));
+        Ok(())
     }
 
     #[test]
-    fn end_to_end_run_produces_all_rows() {
-        let rows = run(&ExpConfig::smoke_test());
+    fn incomplete_roster_is_a_typed_error_not_a_panic() {
+        let mut row = synthetic_row();
+        row.arch.retain(|a| a.backend != "fpga-25b");
+        let err = run_from_speedup(&row, PowerAssumptions::default()).unwrap_err();
+        assert!(
+            matches!(&err, crate::EvalError::MissingBackend { backend, .. } if backend == "fpga-25b"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn end_to_end_run_produces_all_rows() -> Result<(), crate::EvalError> {
+        let rows = run(&ExpConfig::smoke_test())?;
         assert_eq!(rows.len(), 7);
         assert!(!to_table(&rows).is_empty());
         // Device powers come from the model, in Table II's range.
@@ -217,5 +240,6 @@ mod tests {
                 r.device_w
             );
         }
+        Ok(())
     }
 }

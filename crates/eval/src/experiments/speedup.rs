@@ -19,13 +19,12 @@
 //! the zero-cost-sort columns are already derived from the full GPU runs
 //! instead of re-executing them.
 
-use tkspmv::backend::BackendStats;
 use tkspmv_sparse::gen::query_vector;
 
 use crate::backends;
 use crate::datasets::{group_representatives, DatasetGroup};
 use crate::report::{fnum, fspeedup, Table};
-use crate::ExpConfig;
+use crate::{EvalError, ExpConfig};
 
 /// The K used by Figure 5.
 pub const FIGURE5_K: usize = 100;
@@ -59,28 +58,44 @@ pub struct SpeedupRow {
 }
 
 impl SpeedupRow {
-    /// Speedup of the named backend, if it is in the roster.
-    pub fn speedup_of(&self, backend: &str) -> Option<f64> {
+    /// Speedup of the named backend.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::MissingBackend`] naming the roster this row holds
+    /// when `backend` is not in it.
+    pub fn speedup_of(&self, backend: &str) -> Result<f64, EvalError> {
         self.arch
             .iter()
             .find(|a| a.backend == backend)
             .map(|a| a.speedup)
+            .ok_or_else(|| {
+                EvalError::missing_backend(
+                    backend,
+                    self.arch.iter().map(|a| a.backend.clone()).collect(),
+                )
+            })
     }
 
     /// The FPGA 20-bit design's throughput in nnz/second.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `fpga-20b` is not in the roster.
-    pub fn fpga20_nnz_per_sec(&self) -> f64 {
-        let speedup = self.speedup_of("fpga-20b").expect("fpga-20b in roster");
-        self.nnz as f64 / (self.cpu_seconds / speedup)
+    /// [`EvalError::MissingBackend`] if `fpga-20b` is not in the roster.
+    pub fn fpga20_nnz_per_sec(&self) -> Result<f64, EvalError> {
+        let speedup = self.speedup_of("fpga-20b")?;
+        Ok(self.nnz as f64 / (self.cpu_seconds / speedup))
     }
 }
 
 /// Runs the Figure 5 experiment over the four dataset groups, racing
 /// the roster of modelled backends against the measured CPU baseline.
-pub fn run(config: &ExpConfig) -> Vec<SpeedupRow> {
+///
+/// # Errors
+///
+/// [`EvalError::Engine`] if any backend fails to prepare a matrix or
+/// answer a query.
+pub fn run(config: &ExpConfig) -> Result<Vec<SpeedupRow>, EvalError> {
     let cpu = backends::cpu();
     let roster = backends::figure5_roster();
     let mut rows = Vec::new();
@@ -88,11 +103,11 @@ pub fn run(config: &ExpConfig) -> Vec<SpeedupRow> {
         let csr = spec.generate(config.scale_divisor);
 
         // CPU: wall-clock, best of `queries` runs (steady-state timing).
-        let prepared = cpu.prepare(&csr).expect("CPU baseline prepares");
+        let prepared = cpu.prepare(&csr)?;
         let mut cpu_seconds = f64::INFINITY;
         for q in 0..config.queries.max(1) {
             let x = query_vector(csr.num_cols(), config.seed + q as u64);
-            let out = cpu.query(&prepared, &x, FIGURE5_K).expect("CPU query runs");
+            let out = cpu.query(&prepared, &x, FIGURE5_K)?;
             cpu_seconds = cpu_seconds.min(out.perf.seconds);
         }
 
@@ -108,25 +123,15 @@ pub fn run(config: &ExpConfig) -> Vec<SpeedupRow> {
         for backend in &roster {
             let family = backend.family();
             if current.as_ref().is_none_or(|(f, _)| *f != family) {
-                current = Some((
-                    family.clone(),
-                    backend.prepare(&csr).expect("backend prepares"),
-                ));
+                current = Some((family.clone(), backend.prepare(&csr)?));
             }
             let prepared = &current.as_ref().expect("just prepared").1;
-            let out = backend
-                .query(prepared, &x, FIGURE5_K)
-                .expect("backend query runs");
+            let out = backend.query(prepared, &x, FIGURE5_K)?;
             // GPU runs also yield the paper's idealised zero-cost-sort
             // column for free: same functional result, SpMV-only billing
             // (re-running a `gpu_spmv_only` backend would recompute the
             // identical ranking just to report a different time).
-            if let BackendStats::Gpu {
-                spmv_seconds,
-                zero_cost_sort: false,
-                ..
-            } = out.stats
-            {
+            if let Some((spmv_seconds, _, false)) = out.stats.gpu_timings() {
                 arch.push(ArchSpeedup {
                     backend: format!("{}-spmv", backend.name()),
                     seconds: spmv_seconds,
@@ -148,7 +153,7 @@ pub fn run(config: &ExpConfig) -> Vec<SpeedupRow> {
             arch,
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders the Figure 5 panels as a table (one column per backend).
@@ -170,68 +175,82 @@ pub fn to_table(rows: &[SpeedupRow]) -> Table {
 mod tests {
     use super::*;
 
-    fn rows() -> Vec<SpeedupRow> {
+    fn rows() -> Result<Vec<SpeedupRow>, EvalError> {
         run(&ExpConfig::smoke_test())
     }
 
-    fn speedup(r: &SpeedupRow, backend: &str) -> f64 {
-        r.speedup_of(backend)
-            .unwrap_or_else(|| panic!("{backend} missing from roster"))
-    }
-
     #[test]
-    fn figure5_shape_fpga_beats_idealised_gpu() {
+    fn figure5_shape_fpga_beats_idealised_gpu() -> Result<(), EvalError> {
         // The paper's headline: FPGA 20b is ~2x the GPU F32 SpMV-only
         // performance. Assert who-wins, not the exact factor.
-        for r in rows() {
+        for r in rows()? {
             assert!(
-                speedup(&r, "fpga-20b") > speedup(&r, "gpu-f32-spmv"),
+                r.speedup_of("fpga-20b")? > r.speedup_of("gpu-f32-spmv")?,
                 "{:?}: FPGA 20b {:.1}x vs GPU {:.1}x",
                 r.group,
-                speedup(&r, "fpga-20b"),
-                speedup(&r, "gpu-f32-spmv")
+                r.speedup_of("fpga-20b")?,
+                r.speedup_of("gpu-f32-spmv")?
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn figure5_shape_precision_ordering() {
+    fn figure5_shape_precision_ordering() -> Result<(), EvalError> {
         // Reduced precision packs more nnz per packet -> faster.
-        for r in rows() {
+        for r in rows()? {
             assert!(
-                speedup(&r, "fpga-20b") >= speedup(&r, "fpga-25b"),
+                r.speedup_of("fpga-20b")? >= r.speedup_of("fpga-25b")?,
                 "{:?}: 20b >= 25b",
                 r.group
             );
             assert!(
-                speedup(&r, "fpga-25b") >= speedup(&r, "fpga-32b"),
+                r.speedup_of("fpga-25b")? >= r.speedup_of("fpga-32b")?,
                 "{:?}: 25b >= 32b",
                 r.group
             );
             // Fixed 32b beats float (higher clock).
             assert!(
-                speedup(&r, "fpga-32b") >= speedup(&r, "fpga-f32"),
+                r.speedup_of("fpga-32b")? >= r.speedup_of("fpga-f32")?,
                 "{:?}: 32b >= F32",
                 r.group
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn figure5_shape_sorting_hurts_gpu() {
-        for r in rows() {
-            assert!(speedup(&r, "gpu-f32") < speedup(&r, "gpu-f32-spmv"));
-            assert!(speedup(&r, "gpu-f16") < speedup(&r, "gpu-f16-spmv"));
+    fn figure5_shape_sorting_hurts_gpu() -> Result<(), EvalError> {
+        for r in rows()? {
+            assert!(r.speedup_of("gpu-f32")? < r.speedup_of("gpu-f32-spmv")?);
+            assert!(r.speedup_of("gpu-f16")? < r.speedup_of("gpu-f16-spmv")?);
         }
+        Ok(())
     }
 
     #[test]
-    fn table_renders_four_panels_with_roster_columns() {
-        let rows = rows();
+    fn missing_backend_is_a_typed_error() -> Result<(), EvalError> {
+        let rows = rows()?;
+        let err = rows[0].speedup_of("tpu-v9").unwrap_err();
+        match &err {
+            EvalError::MissingBackend { backend, roster } => {
+                assert_eq!(backend, "tpu-v9");
+                assert!(roster.iter().any(|b| b == "fpga-20b"), "{roster:?}");
+            }
+            other => panic!("expected MissingBackend, got {other:?}"),
+        }
+        assert!(err.to_string().contains("tpu-v9"));
+        Ok(())
+    }
+
+    #[test]
+    fn table_renders_four_panels_with_roster_columns() -> Result<(), EvalError> {
+        let rows = rows()?;
         let t = to_table(&rows);
         assert_eq!(t.len(), 4);
         assert!(t.to_markdown().contains("fpga-20b"));
         // Throughput helper stays usable for the binary's summary line.
-        assert!(rows[0].fpga20_nnz_per_sec() > 0.0);
+        assert!(rows[0].fpga20_nnz_per_sec()? > 0.0);
+        Ok(())
     }
 }

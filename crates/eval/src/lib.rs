@@ -30,9 +30,12 @@
 pub mod autotune;
 pub mod backends;
 pub mod datasets;
+mod error;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
+
+pub use error::EvalError;
 
 /// Global experiment configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]

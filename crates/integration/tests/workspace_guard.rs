@@ -19,6 +19,7 @@ const WORKSPACE_MANAGED: &[&str] = &[
     "tkspmv_sparse",
     "tkspmv_hw",
     "tkspmv_baselines",
+    "tkspmv_serve",
     "tkspmv_eval",
     "tkspmv_bench",
     "proptest",
@@ -82,8 +83,8 @@ fn member_manifests() -> Vec<PathBuf> {
     }
     assert_eq!(
         found.len(),
-        10,
-        "expected 10 member manifests, got {found:?}"
+        11,
+        "expected 11 member manifests, got {found:?}"
     );
     found
 }
@@ -133,8 +134,10 @@ fn dependency_dag_is_acyclic_and_layered() {
         ("tkspmv_sparse", "tkspmv"),
         ("tkspmv_hw", "tkspmv"),
         ("tkspmv", "tkspmv_baselines"),
+        ("tkspmv", "tkspmv_serve"),
         ("tkspmv_baselines", "tkspmv_eval"),
         ("tkspmv_eval", "tkspmv_bench"),
+        ("tkspmv_serve", "tkspmv_bench"),
     ] {
         assert!(
             position[lower] < position[upper],

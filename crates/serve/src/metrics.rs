@@ -1,0 +1,205 @@
+//! Service observability: latency percentiles, batch-size shape,
+//! throughput and shedding counters, snapshotted on demand.
+
+use std::time::{Duration, Instant};
+
+/// Latency samples kept for percentile estimation (a ring buffer of the
+/// most recent completions; older samples age out under sustained load).
+const LATENCY_RESERVOIR: usize = 65_536;
+
+/// A point-in-time snapshot of a service's behaviour since start-up.
+///
+/// Taken with `TopKService::metrics` (cheap: one mutex and a sort of a
+/// bounded latency reservoir) and returned by `TopKService::shutdown`
+/// as the final account.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ServiceMetrics {
+    /// Requests answered successfully.
+    pub served: u64,
+    /// Requests that entered the queue but came back with an error
+    /// (engine failure, worker panic).
+    pub failed: u64,
+    /// Requests shed at submission because the queue was full.
+    pub shed: u64,
+    /// Backend batches dispatched.
+    pub batches: u64,
+    /// Median end-to-end latency (submission to response) over the
+    /// recent-sample reservoir.
+    pub latency_p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub latency_p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Duration,
+    /// Mean queries per dispatched batch.
+    pub mean_batch_size: f64,
+    /// `(batch_size, count)` pairs for every batch size observed, in
+    /// ascending size order.
+    pub batch_size_histogram: Vec<(usize, u64)>,
+    /// Served requests per second of service uptime.
+    pub throughput_qps: f64,
+    /// Time since the service started.
+    pub uptime: Duration,
+}
+
+/// Mutable counters behind the service's metrics mutex.
+#[derive(Debug)]
+pub(crate) struct MetricsInner {
+    started: Instant,
+    latencies_us: Vec<u64>,
+    next_slot: usize,
+    served: u64,
+    failed: u64,
+    shed: u64,
+    batches: u64,
+    /// `batch_hist[s]` = batches dispatched holding exactly `s` queries.
+    batch_hist: Vec<u64>,
+}
+
+impl MetricsInner {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            latencies_us: Vec::new(),
+            next_slot: 0,
+            served: 0,
+            failed: 0,
+            shed: 0,
+            batches: 0,
+            batch_hist: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_served(&mut self, latency: Duration) {
+        self.served += 1;
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        if self.latencies_us.len() < LATENCY_RESERVOIR {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.next_slot] = us;
+            self.next_slot = (self.next_slot + 1) % LATENCY_RESERVOIR;
+        }
+    }
+
+    pub(crate) fn record_failed(&mut self, requests: u64) {
+        self.failed += requests;
+    }
+
+    pub(crate) fn record_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    pub(crate) fn record_batch(&mut self, size: usize) {
+        self.batches += 1;
+        if self.batch_hist.len() <= size {
+            self.batch_hist.resize(size + 1, 0);
+        }
+        self.batch_hist[size] += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceMetrics {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let uptime = self.started.elapsed();
+        let weighted: u64 = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        ServiceMetrics {
+            served: self.served,
+            failed: self.failed,
+            shed: self.shed,
+            batches: self.batches,
+            latency_p50: percentile(&sorted, 0.50),
+            latency_p95: percentile(&sorted, 0.95),
+            latency_p99: percentile(&sorted, 0.99),
+            mean_batch_size: if self.batches == 0 {
+                0.0
+            } else {
+                weighted as f64 / self.batches as f64
+            },
+            batch_size_histogram: self
+                .batch_hist
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(size, &count)| (size, count))
+                .collect(),
+            throughput_qps: if uptime.is_zero() {
+                0.0
+            } else {
+                self.served as f64 / uptime.as_secs_f64()
+            },
+            uptime,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample, zero when
+/// the sample is empty.
+fn percentile(sorted_us: &[u64], q: f64) -> Duration {
+    if sorted_us.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (q * sorted_us.len() as f64).ceil() as usize;
+    Duration::from_micros(sorted_us[rank.clamp(1, sorted_us.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 0.50), Duration::from_micros(50));
+        assert_eq!(percentile(&sample, 0.95), Duration::from_micros(95));
+        assert_eq!(percentile(&sample, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[7], 0.99), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn snapshot_aggregates_counters() {
+        let mut m = MetricsInner::new();
+        for us in [100u64, 200, 300, 400] {
+            m.record_served(Duration::from_micros(us));
+        }
+        m.record_failed(2);
+        m.record_shed();
+        m.record_batch(1);
+        m.record_batch(3);
+        m.record_batch(3);
+        let s = m.snapshot();
+        assert_eq!(s.served, 4);
+        assert_eq!(s.failed, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.latency_p50, Duration::from_micros(200));
+        assert!(s.latency_p50 <= s.latency_p95 && s.latency_p95 <= s.latency_p99);
+        assert_eq!(s.batch_size_histogram, vec![(1, 1), (3, 2)]);
+        assert!((s.mean_batch_size - 7.0 / 3.0).abs() < 1e-12);
+        assert!(s.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded() {
+        let mut m = MetricsInner::new();
+        for i in 0..(LATENCY_RESERVOIR as u64 + 10) {
+            m.record_served(Duration::from_micros(i));
+        }
+        assert_eq!(m.latencies_us.len(), LATENCY_RESERVOIR);
+        assert_eq!(m.snapshot().served, LATENCY_RESERVOIR as u64 + 10);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let s = MetricsInner::new().snapshot();
+        assert_eq!(s.served, 0);
+        assert_eq!(s.mean_batch_size, 0.0);
+        assert_eq!(s.latency_p99, Duration::ZERO);
+        assert!(s.batch_size_histogram.is_empty());
+    }
+}

@@ -1,0 +1,1135 @@
+//! The serving engine: bounded admission, dynamic micro-batching,
+//! per-shard worker pools, cross-shard merge, metrics and shutdown.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tkspmv::backend::{MatrixShard, PreparedMatrix, QueryBatch, TopKBackend};
+use tkspmv::{EngineError, TopKResult};
+use tkspmv_sparse::{Csr, DenseVector};
+
+use crate::batch::BatchPolicy;
+use crate::error::ServeError;
+use crate::metrics::{MetricsInner, ServiceMetrics};
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// the serving loops must keep running through backend panics.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stringifies a caught panic payload for [`ServeError::WorkerPanicked`].
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// One answered request: the merged ranking plus serving facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedResult {
+    /// The cross-shard merged Top-K, best first.
+    pub topk: TopKResult,
+    /// End-to-end latency, from admission to response.
+    pub latency: Duration,
+    /// Queries in the backend batch this request rode in (1 when the
+    /// policy is [`BatchPolicy::immediate`] or traffic was idle).
+    pub batch_size: usize,
+}
+
+/// A claim on an in-flight request, returned by [`TopKService::submit`].
+///
+/// Dropping the ticket abandons the response (the work still runs); the
+/// service never blocks on an unclaimed ticket.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServedResult, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the serving layer reports for the request — see
+    /// [`ServeError`].
+    pub fn wait(self) -> Result<ServedResult, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Returns the response if it is already available, `None` while the
+    /// request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<ServedResult, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(response) => Some(response),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+/// A request admitted to the submission queue.
+struct Pending {
+    x: DenseVector,
+    k: usize,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<ServedResult, ServeError>>,
+}
+
+/// The response half of a batched request.
+struct Responder {
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<ServedResult, ServeError>>,
+}
+
+/// What one shard contributes to a job: per-query globalized
+/// `(row, score)` candidate lists, or the shard's failure.
+type ShardOutcome = Result<Vec<Vec<(u32, f64)>>, ServeError>;
+
+/// One dispatched batch, shared by every shard's worker pool.
+struct Job {
+    batch: QueryBatch,
+    k: usize,
+    responders: Vec<Responder>,
+    /// `partials[s]` = shard `s`'s outcome, filled exactly once.
+    partials: Mutex<Vec<Option<ShardOutcome>>>,
+    /// Shards still running; the worker that decrements this to zero
+    /// merges and responds.
+    remaining: AtomicUsize,
+}
+
+impl Job {
+    /// Merges every shard's candidates per query and answers all
+    /// responders. Runs on the last-finishing shard's worker thread.
+    fn finalize(&self, inner: &Inner) {
+        let parts = std::mem::take(&mut *lock(&self.partials));
+        let batch_size = self.batch.len();
+        let mut failure: Option<ServeError> = None;
+        let mut per_query: Vec<Vec<(u32, f64)>> = vec![Vec::new(); batch_size];
+        for outcome in parts {
+            match outcome {
+                Some(Ok(shard_lists)) => {
+                    for (q, pairs) in shard_lists.into_iter().enumerate() {
+                        per_query[q].extend(pairs);
+                    }
+                }
+                Some(Err(e)) => {
+                    failure.get_or_insert(e);
+                }
+                None => {
+                    failure.get_or_insert(ServeError::WorkerPanicked {
+                        detail: "a shard never reported its outcome".to_string(),
+                    });
+                }
+            }
+        }
+        // Merge and respond first, then take the metrics lock only to
+        // bump counters — the lock is shared with submit()'s shed
+        // accounting, so holding it across per-query sorts would stall
+        // submitters and other finishing batches service-wide.
+        match failure {
+            Some(error) => {
+                for responder in &self.responders {
+                    // A dropped ticket is fine; everyone else gets the
+                    // first shard failure.
+                    let _ = responder.tx.send(Err(error.clone()));
+                }
+                let mut metrics = lock(&inner.metrics);
+                metrics.record_batch(batch_size);
+                metrics.record_failed(self.responders.len() as u64);
+            }
+            None => {
+                let mut latencies = Vec::with_capacity(batch_size);
+                for (responder, pairs) in self.responders.iter().zip(per_query) {
+                    let topk = TopKResult::merge_pairs(pairs, self.k);
+                    let latency = responder.enqueued.elapsed();
+                    latencies.push(latency);
+                    let _ = responder.tx.send(Ok(ServedResult {
+                        topk,
+                        latency,
+                        batch_size,
+                    }));
+                }
+                let mut metrics = lock(&inner.metrics);
+                metrics.record_batch(batch_size);
+                for latency in latencies {
+                    metrics.record_served(latency);
+                }
+            }
+        }
+    }
+}
+
+/// The bounded submission queue guarded by `Inner::submit`.
+struct SubmitQueue {
+    queue: VecDeque<Pending>,
+    /// Cleared when shutdown begins: nothing new is admitted, but the
+    /// batcher keeps draining what is already queued.
+    open: bool,
+}
+
+/// One shard's dispatch queue, guarded by `ShardState::queue`.
+struct ShardJobs {
+    jobs: VecDeque<Arc<Job>>,
+    /// Set after the batcher exits; workers finish the remaining jobs
+    /// and then return.
+    closed: bool,
+}
+
+/// A shard: its prepared row partition plus the worker-pool queue.
+struct ShardState {
+    shard: MatrixShard,
+    queue: Mutex<ShardJobs>,
+    cv: Condvar,
+}
+
+/// State shared by the service handle, the batcher and every worker.
+struct Inner {
+    backend: Arc<dyn TopKBackend>,
+    shards: Vec<ShardState>,
+    submit: Mutex<SubmitQueue>,
+    submit_cv: Condvar,
+    policy: BatchPolicy,
+    queue_capacity: usize,
+    dim: usize,
+    num_rows: usize,
+    metrics: Mutex<MetricsInner>,
+}
+
+impl Inner {
+    /// Ships a coalesced set of same-`k` requests to every shard.
+    fn dispatch(&self, members: Vec<Pending>) {
+        let k = members[0].k;
+        let mut queries = Vec::with_capacity(members.len());
+        let mut responders = Vec::with_capacity(members.len());
+        for pending in members {
+            queries.push(pending.x);
+            responders.push(Responder {
+                enqueued: pending.enqueued,
+                tx: pending.tx,
+            });
+        }
+        let batch = match QueryBatch::new(queries) {
+            Ok(batch) => batch,
+            // Unreachable (dimensions are validated at submission), but
+            // a response is owed either way.
+            Err(e) => {
+                let error = ServeError::Engine(e);
+                lock(&self.metrics).record_failed(responders.len() as u64);
+                for responder in &responders {
+                    let _ = responder.tx.send(Err(error.clone()));
+                }
+                return;
+            }
+        };
+        let job = Arc::new(Job {
+            batch,
+            k,
+            responders,
+            partials: Mutex::new((0..self.shards.len()).map(|_| None).collect()),
+            remaining: AtomicUsize::new(self.shards.len()),
+        });
+        for shard in &self.shards {
+            lock(&shard.queue).jobs.push_back(Arc::clone(&job));
+            shard.cv.notify_one();
+        }
+    }
+}
+
+/// Moves queued requests whose `k` matches the seed's into `members`,
+/// preserving the queue order of everything left behind.
+///
+/// One O(len) rotation — every entry is popped once and either joins
+/// the batch or returns to the back in its original relative order — so
+/// batch formation never does quadratic element shifting while holding
+/// the submit mutex.
+fn extract_same_k(queue: &mut VecDeque<Pending>, members: &mut Vec<Pending>, max: usize) {
+    let k = members[0].k;
+    for _ in 0..queue.len() {
+        let pending = queue.pop_front().expect("len checked by the loop bound");
+        if members.len() < max && pending.k == k {
+            members.push(pending);
+        } else {
+            queue.push_back(pending);
+        }
+    }
+}
+
+/// The batcher thread: seed, coalesce under the policy, dispatch.
+fn batcher_loop(inner: &Arc<Inner>) {
+    loop {
+        let seed = {
+            let mut q = lock(&inner.submit);
+            loop {
+                if let Some(pending) = q.queue.pop_front() {
+                    break pending;
+                }
+                if !q.open {
+                    // Shutdown and fully drained: close shop.
+                    return;
+                }
+                q = inner
+                    .submit_cv
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let mut members = vec![seed];
+        let max = inner.policy.max_batch_size;
+        if max > 1 {
+            let deadline = Instant::now() + inner.policy.max_wait;
+            let mut q = lock(&inner.submit);
+            loop {
+                extract_same_k(&mut q.queue, &mut members, max);
+                if members.len() >= max || !q.open {
+                    break;
+                }
+                // After extraction the queue holds only other-k
+                // requests; once a full batch of that work is waiting,
+                // stop coalescing and dispatch, so mixed-k traffic
+                // cannot head-of-line block the workers for max_wait.
+                if q.queue.len() >= max {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = inner
+                    .submit_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+                if timeout.timed_out() {
+                    extract_same_k(&mut q.queue, &mut members, max);
+                    break;
+                }
+            }
+        }
+        inner.dispatch(members);
+    }
+}
+
+/// A shard worker: pop a job, run the batch against this shard's
+/// prepared partition (catching backend panics), contribute the
+/// globalized candidates, merge-and-respond if last.
+///
+/// The panic guard covers everything from the backend call through
+/// index globalization, and the remaining-counter decrement runs
+/// unconditionally afterwards — a panic anywhere in a job must cost
+/// that job at most, never the worker (a dead worker would strand every
+/// later request on its shard queue).
+fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
+    let state = &inner.shards[shard_index];
+    loop {
+        let job = {
+            let mut q = lock(&state.queue);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = state.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            let results = inner
+                .backend
+                .query_batch(state.shard.matrix(), &job.batch, job.k)?;
+            Ok(results
+                .iter()
+                .map(|r| state.shard.globalize(&r.topk))
+                .collect::<Vec<_>>())
+        }));
+        let outcome: ShardOutcome = match ran {
+            Ok(Ok(lists)) => Ok(lists),
+            Ok(Err(e)) => Err(ServeError::Engine(e)),
+            Err(payload) => Err(ServeError::WorkerPanicked {
+                detail: panic_detail(payload),
+            }),
+        };
+        lock(&job.partials)[shard_index] = Some(outcome);
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // A finalize panic (it runs caller-adjacent merge code and
+            // responder sends) drops the job's senders, so unanswered
+            // tickets resolve to `Disconnected` instead of hanging, and
+            // the worker lives on.
+            let _ = catch_unwind(AssertUnwindSafe(|| job.finalize(inner)));
+        }
+    }
+}
+
+/// Configures and builds a [`TopKService`].
+///
+/// Obtained from [`TopKService::builder`]; every knob has a production
+/// default, so `builder(backend).build(&collection)` is a working
+/// service.
+pub struct ServiceBuilder {
+    backend: Arc<dyn TopKBackend>,
+    shards: usize,
+    workers_per_shard: usize,
+    policy: BatchPolicy,
+    queue_capacity: usize,
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("backend", &self.backend.name())
+            .field("shards", &self.shards)
+            .field("workers_per_shard", &self.workers_per_shard)
+            .field("policy", &self.policy)
+            .field("queue_capacity", &self.queue_capacity)
+            .finish()
+    }
+}
+
+impl ServiceBuilder {
+    /// Row shards to split the collection into (default 2). Each shard
+    /// is prepared independently and owns a worker pool, mirroring the
+    /// paper's per-HBM-channel partitions one level up.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Worker threads per shard (default 1). More workers let a shard
+    /// overlap independent batches.
+    #[must_use]
+    pub fn workers_per_shard(mut self, workers: usize) -> Self {
+        self.workers_per_shard = workers;
+        self
+    }
+
+    /// The micro-batching policy (default [`BatchPolicy::default`]).
+    #[must_use]
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bounded submission-queue capacity (default 1024). Submissions
+    /// beyond it are shed with [`ServeError::QueueFull`].
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Prepares every shard through the backend and starts the batcher
+    /// and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for unusable knobs (zero workers,
+    /// zero queue capacity, zero-sized batches, shard count outside
+    /// `1..=rows`); [`ServeError::Engine`] if the backend rejects a
+    /// shard in `prepare`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the OS refuses to spawn service threads.
+    pub fn build(self, csr: &Csr) -> Result<TopKService, ServeError> {
+        self.policy.validate()?;
+        if self.workers_per_shard == 0 {
+            return Err(ServeError::invalid_config(
+                "workers_per_shard must be at least 1",
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::invalid_config(
+                "queue_capacity must be at least 1",
+            ));
+        }
+        let shards = PreparedMatrix::prepare_row_shards(self.backend.as_ref(), csr, self.shards)
+            .map_err(|e| match e {
+                EngineError::InvalidConfig { .. } => ServeError::InvalidConfig {
+                    detail: e.to_string(),
+                },
+                other => ServeError::Engine(other),
+            })?;
+        let inner = Arc::new(Inner {
+            backend: self.backend,
+            shards: shards
+                .into_iter()
+                .map(|shard| ShardState {
+                    shard,
+                    queue: Mutex::new(ShardJobs {
+                        jobs: VecDeque::new(),
+                        closed: false,
+                    }),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            submit: Mutex::new(SubmitQueue {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            submit_cv: Condvar::new(),
+            policy: self.policy,
+            queue_capacity: self.queue_capacity,
+            dim: csr.num_cols(),
+            num_rows: csr.num_rows(),
+            metrics: Mutex::new(MetricsInner::new()),
+        });
+
+        let batcher = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("tkspmv-serve-batcher".to_string())
+                .spawn(move || batcher_loop(&inner))
+                .expect("spawn batcher thread")
+        };
+        let mut workers = Vec::with_capacity(inner.shards.len() * self.workers_per_shard);
+        for shard_index in 0..inner.shards.len() {
+            for worker in 0..self.workers_per_shard {
+                let inner = Arc::clone(&inner);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("tkspmv-serve-s{shard_index}w{worker}"))
+                        .spawn(move || worker_loop(&inner, shard_index))
+                        .expect("spawn shard worker thread"),
+                );
+            }
+        }
+        Ok(TopKService {
+            inner,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+}
+
+/// A sharded, micro-batching Top-K similarity service over any
+/// [`TopKBackend`].
+///
+/// The collection is split into row shards, each prepared once and held
+/// resident by a dedicated worker pool (the serving-layer picture of the
+/// paper's matrix-resident HBM channels). Concurrent callers
+/// [`submit`](TopKService::submit) queries into a bounded queue; a
+/// batcher thread coalesces them under a [`BatchPolicy`] and dispatches
+/// each batch to every shard; per-shard Top-K answers are merged with
+/// [`TopKResult::merge_pairs`] and handed back through [`Ticket`]s.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tkspmv::Accelerator;
+/// use tkspmv_serve::{BatchPolicy, TopKService};
+/// use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+///
+/// let collection = SyntheticConfig {
+///     num_rows: 1_000,
+///     num_cols: 128,
+///     avg_nnz_per_row: 12,
+///     distribution: NnzDistribution::Uniform,
+///     seed: 3,
+/// }
+/// .generate();
+/// let backend = Arc::new(Accelerator::builder().cores(4).k(8).build()?);
+/// let service = TopKService::builder(backend)
+///     .shards(2)
+///     .batch_policy(BatchPolicy::default())
+///     .build(&collection)?;
+///
+/// let answer = service.query(query_vector(128, 7), 5)?;
+/// assert_eq!(answer.topk.len(), 5);
+/// let finale = service.shutdown();
+/// assert_eq!(finale.served, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TopKService {
+    inner: Arc<Inner>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("backend", &self.backend.name())
+            .field("shards", &self.shards.len())
+            .field("dim", &self.dim)
+            .field("num_rows", &self.num_rows)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TopKService {
+    /// Starts configuring a service over `backend`.
+    pub fn builder(backend: Arc<dyn TopKBackend>) -> ServiceBuilder {
+        ServiceBuilder {
+            backend,
+            shards: 2,
+            workers_per_shard: 1,
+            policy: BatchPolicy::default(),
+            queue_capacity: 1024,
+        }
+    }
+
+    /// Query-vector dimension the service expects.
+    pub fn dim(&self) -> usize {
+        self.inner.dim
+    }
+
+    /// Rows (embeddings) in the served collection.
+    pub fn num_rows(&self) -> usize {
+        self.inner.num_rows
+    }
+
+    /// Row shards the collection is split into.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Admits a query into the submission queue, returning a [`Ticket`]
+    /// for the response. Never blocks on backend work.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for a wrong-dimension vector or
+    /// `k = 0` (checked before queueing), [`ServeError::QueueFull`] when
+    /// the bounded queue sheds the request, [`ServeError::ShuttingDown`]
+    /// after [`shutdown`](TopKService::shutdown) has begun.
+    pub fn submit(&self, x: DenseVector, k: usize) -> Result<Ticket, ServeError> {
+        if x.len() != self.inner.dim {
+            return Err(ServeError::BadRequest(EngineError::vector_length_mismatch(
+                x.len(),
+                self.inner.dim,
+            )));
+        }
+        if k == 0 {
+            return Err(ServeError::BadRequest(EngineError::zero_big_k()));
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = lock(&self.inner.submit);
+            if !q.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.queue.len() >= self.inner.queue_capacity {
+                lock(&self.inner.metrics).record_shed();
+                return Err(ServeError::QueueFull {
+                    capacity: self.inner.queue_capacity,
+                });
+            }
+            q.queue.push_back(Pending {
+                x,
+                k,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        self.inner.submit_cv.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and blocks for the answer — the closed-loop client call.
+    ///
+    /// # Errors
+    ///
+    /// As [`TopKService::submit`], plus whatever the execution reports.
+    pub fn query(&self, x: DenseVector, k: usize) -> Result<ServedResult, ServeError> {
+        self.submit(x, k)?.wait()
+    }
+
+    /// Snapshots the service's metrics.
+    pub fn metrics(&self) -> ServiceMetrics {
+        lock(&self.inner.metrics).snapshot()
+    }
+
+    /// Gracefully shuts down: rejects new submissions, drains every
+    /// queued and in-flight request to a response, joins all service
+    /// threads, and returns the final metrics snapshot.
+    pub fn shutdown(mut self) -> ServiceMetrics {
+        self.shutdown_inner();
+        self.metrics()
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            lock(&self.inner.submit).open = false;
+        }
+        self.inner.submit_cv.notify_all();
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+        // The batcher has dispatched everything it will ever dispatch;
+        // closing the shard queues now lets workers drain and exit.
+        for shard in &self.inner.shards {
+            lock(&shard.queue).closed = true;
+            shard.cv.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TopKService {
+    /// Dropping the service performs the same graceful drain as
+    /// [`TopKService::shutdown`].
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkspmv::backend::{BackendPerf, BackendStats, QueryResult};
+    use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+
+    /// A brute-force exact backend for serving tests: `spmv_exact` plus
+    /// a full sort, optionally slowed or booby-trapped.
+    struct TestBackend {
+        /// Artificial per-batch latency, to hold workers busy.
+        delay: Duration,
+        /// Panic when a query's `k` equals this (poisoned-worker drill).
+        panic_on_k: Option<usize>,
+    }
+
+    impl TestBackend {
+        fn exact() -> Self {
+            Self {
+                delay: Duration::ZERO,
+                panic_on_k: None,
+            }
+        }
+    }
+
+    const FAMILY: &str = "test-exact";
+
+    impl TopKBackend for TestBackend {
+        fn name(&self) -> String {
+            FAMILY.to_string()
+        }
+
+        fn prepare(&self, csr: &Csr) -> Result<PreparedMatrix, EngineError> {
+            if csr.num_rows() == 0 {
+                return Err(EngineError::empty_matrix());
+            }
+            Ok(PreparedMatrix::new(
+                FAMILY,
+                csr.num_rows(),
+                csr.num_cols(),
+                csr.nnz() as u64,
+                csr.clone(),
+            ))
+        }
+
+        fn query(
+            &self,
+            matrix: &PreparedMatrix,
+            x: &DenseVector,
+            k: usize,
+        ) -> Result<QueryResult, EngineError> {
+            if Some(k) == self.panic_on_k {
+                panic!("backend tripped on k = {k}");
+            }
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            let csr: &Csr = matrix.downcast(FAMILY)?;
+            if x.len() != csr.num_cols() {
+                return Err(EngineError::vector_length_mismatch(x.len(), csr.num_cols()));
+            }
+            if k == 0 {
+                return Err(EngineError::zero_big_k());
+            }
+            let pairs: Vec<(u32, f64)> = csr
+                .spmv_exact(x.as_slice())
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (i as u32, v))
+                .collect();
+            Ok(QueryResult {
+                topk: TopKResult::from_pairs(pairs).truncated(k),
+                perf: BackendPerf::measured(1e-9, csr.nnz() as u64),
+                stats: BackendStats::Cpu { threads: 1 },
+            })
+        }
+    }
+
+    fn collection(rows: usize) -> Csr {
+        SyntheticConfig {
+            num_rows: rows,
+            num_cols: 64,
+            avg_nnz_per_row: 8,
+            distribution: NnzDistribution::Uniform,
+            seed: 77,
+        }
+        .generate()
+    }
+
+    fn direct_reference(csr: &Csr, x: &DenseVector, k: usize) -> TopKResult {
+        let backend = TestBackend::exact();
+        let prepared = backend.prepare(csr).unwrap();
+        TopKBackend::query(&backend, &prepared, x, k).unwrap().topk
+    }
+
+    fn service(csr: &Csr, shards: usize, policy: BatchPolicy) -> TopKService {
+        TopKService::builder(Arc::new(TestBackend::exact()))
+            .shards(shards)
+            .batch_policy(policy)
+            .build(csr)
+            .unwrap()
+    }
+
+    #[test]
+    fn serves_exact_answers_across_shards() {
+        let csr = collection(300);
+        for shards in [1, 2, 5] {
+            let svc = service(&csr, shards, BatchPolicy::immediate());
+            for seed in 0..4 {
+                let x = query_vector(64, seed);
+                let got = svc.query(x.clone(), 10).unwrap();
+                assert_eq!(got.topk, direct_reference(&csr, &x, 10), "{shards} shards");
+                assert_eq!(got.batch_size, 1);
+            }
+            let m = svc.shutdown();
+            assert_eq!(m.served, 4);
+            assert_eq!(m.shed, 0);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_shard_rows_still_merges_globally() {
+        // 5 shards of 8 rows each; K = 20 needs candidates from several
+        // shards and exceeds every single shard's contribution cap.
+        let csr = collection(40);
+        let svc = service(&csr, 5, BatchPolicy::immediate());
+        let x = query_vector(64, 9);
+        let got = svc.query(x.clone(), 20).unwrap();
+        assert_eq!(got.topk, direct_reference(&csr, &x, 20));
+        assert_eq!(got.topk.len(), 20);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_before_queueing() {
+        let csr = collection(50);
+        let svc = service(&csr, 2, BatchPolicy::immediate());
+        assert!(matches!(
+            svc.submit(query_vector(63, 1), 5),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            svc.submit(query_vector(64, 1), 0),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert_eq!(svc.metrics().served, 0);
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let csr = collection(50);
+        let backend = || Arc::new(TestBackend::exact());
+        assert!(matches!(
+            TopKService::builder(backend()).shards(0).build(&csr),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            TopKService::builder(backend()).shards(51).build(&csr),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            TopKService::builder(backend())
+                .workers_per_shard(0)
+                .build(&csr),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            TopKService::builder(backend())
+                .queue_capacity(0)
+                .build(&csr),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            TopKService::builder(backend())
+                .batch_policy(BatchPolicy {
+                    max_batch_size: 0,
+                    max_wait: Duration::ZERO
+                })
+                .build(&csr),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_backpressure() {
+        let csr = collection(60);
+        let svc = TopKService::builder(Arc::new(TestBackend {
+            delay: Duration::from_millis(40),
+            panic_on_k: None,
+        }))
+        .shards(1)
+        .batch_policy(BatchPolicy::immediate())
+        .queue_capacity(2)
+        .build(&csr)
+        .unwrap();
+        // One request occupies the worker; then overfill the queue.
+        let mut tickets = vec![svc.submit(query_vector(64, 0), 3).unwrap()];
+        let mut shed = 0;
+        for seed in 1..30 {
+            match svc.submit(query_vector(64, seed), 3) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(shed > 0, "queue of 2 must shed under a 30-request burst");
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let m = svc.shutdown();
+        assert_eq!(m.shed, shed);
+        assert!(m.served >= 1);
+    }
+
+    #[test]
+    fn burst_coalesces_into_one_backend_batch() {
+        let csr = collection(80);
+        let svc = TopKService::builder(Arc::new(TestBackend {
+            delay: Duration::from_millis(30),
+            panic_on_k: None,
+        }))
+        .shards(2)
+        .batch_policy(BatchPolicy::coalescing(7, Duration::from_millis(500)))
+        .build(&csr)
+        .unwrap();
+        // The first request seeds a batch that dispatches alone or with
+        // early companions; the following seven share one batch of
+        // exactly max_batch_size (the batcher fills before its 500 ms
+        // window can expire).
+        let first = svc.submit(query_vector(64, 100), 4).unwrap();
+        let burst: Vec<Ticket> = (0..7)
+            .map(|seed| svc.submit(query_vector(64, seed), 4).unwrap())
+            .collect();
+        assert!(first.wait().is_ok());
+        let mut batch_sizes = Vec::new();
+        for t in burst {
+            let served = t.wait().unwrap();
+            assert_eq!(served.topk.len(), 4);
+            batch_sizes.push(served.batch_size);
+        }
+        assert!(
+            batch_sizes.contains(&7),
+            "burst should ride one 7-query batch, got {batch_sizes:?}"
+        );
+        let m = svc.shutdown();
+        assert!(m.mean_batch_size > 1.0, "{m:?}");
+        assert!(m.batch_size_histogram.iter().any(|&(size, _)| size == 7));
+    }
+
+    #[test]
+    fn full_backlog_of_another_k_cuts_the_coalescing_wait_short() {
+        // A k=3 seed with a 5-second window would idle the workers for
+        // 5 s while four dispatchable k=9 requests sit queued; the
+        // batcher must dispatch early instead of head-of-line blocking.
+        let csr = collection(60);
+        let svc = TopKService::builder(Arc::new(TestBackend::exact()))
+            .shards(2)
+            .batch_policy(BatchPolicy::coalescing(4, Duration::from_secs(5)))
+            .build(&csr)
+            .unwrap();
+        let started = Instant::now();
+        let seed = svc.submit(query_vector(64, 0), 3).unwrap();
+        let others: Vec<Ticket> = (1..=4)
+            .map(|s| svc.submit(query_vector(64, s), 9).unwrap())
+            .collect();
+        assert_eq!(seed.wait().unwrap().topk.len(), 3);
+        for t in others {
+            assert_eq!(t.wait().unwrap().topk.len(), 9);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "mixed-k backlog must not wait out the 5 s coalescing window"
+        );
+        assert_eq!(svc.shutdown().served, 5);
+    }
+
+    #[test]
+    fn mixed_k_requests_batch_separately_but_all_answer() {
+        let csr = collection(70);
+        let svc = TopKService::builder(Arc::new(TestBackend {
+            delay: Duration::from_millis(10),
+            panic_on_k: None,
+        }))
+        .shards(2)
+        .batch_policy(BatchPolicy::coalescing(8, Duration::from_millis(5)))
+        .build(&csr)
+        .unwrap();
+        let tickets: Vec<(usize, Ticket)> = (0..12)
+            .map(|i| {
+                let k = if i % 2 == 0 { 3 } else { 9 };
+                (k, svc.submit(query_vector(64, i as u64), k).unwrap())
+            })
+            .collect();
+        for (k, t) in tickets {
+            let served = t.wait().unwrap();
+            assert_eq!(served.topk.len(), k);
+        }
+        assert_eq!(svc.shutdown().served, 12);
+    }
+
+    #[test]
+    fn backend_panic_is_contained_and_worker_recovers() {
+        let csr = collection(90);
+        let svc = TopKService::builder(Arc::new(TestBackend {
+            delay: Duration::ZERO,
+            panic_on_k: Some(13),
+        }))
+        .shards(2)
+        .batch_policy(BatchPolicy::immediate())
+        .build(&csr)
+        .unwrap();
+        let x = query_vector(64, 1);
+        // Healthy before...
+        assert!(svc.query(x.clone(), 5).is_ok());
+        // ...the poisoned request gets a typed error...
+        match svc.query(x.clone(), 13) {
+            Err(ServeError::WorkerPanicked { detail }) => {
+                assert!(detail.contains("k = 13"), "{detail}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // ...and the same workers keep serving afterwards.
+        let after = svc.query(x.clone(), 5).unwrap();
+        assert_eq!(after.topk, direct_reference(&csr, &x, 5));
+        let m = svc.shutdown();
+        assert_eq!(m.served, 2);
+        assert_eq!(m.failed, 1);
+    }
+
+    #[test]
+    fn engine_errors_propagate_per_request() {
+        // K = 0 is caught at submit; an engine-level failure needs a
+        // deeper trigger — a backend whose prepare succeeded but whose
+        // query rejects. TestBackend rejects nothing the service lets
+        // through, so fake it with a poisoned k sentinel instead:
+        // covered by `backend_panic_is_contained_and_worker_recovers`.
+        // Here: wrong-dimension submissions never reach the backend.
+        let csr = collection(30);
+        let svc = service(&csr, 2, BatchPolicy::immediate());
+        let err = svc.submit(DenseVector::zeros(1), 2).unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)));
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let csr = collection(100);
+        let svc = TopKService::builder(Arc::new(TestBackend {
+            delay: Duration::from_millis(15),
+            panic_on_k: None,
+        }))
+        .shards(2)
+        .workers_per_shard(2)
+        .batch_policy(BatchPolicy::coalescing(4, Duration::from_millis(1)))
+        .build(&csr)
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|seed| svc.submit(query_vector(64, seed), 6).unwrap())
+            .collect();
+        let metrics = svc.shutdown();
+        // Every admitted request was drained to a successful response.
+        assert_eq!(metrics.served, 10);
+        assert_eq!(metrics.failed, 0);
+        for t in tickets {
+            let served = t.wait().expect("drained during shutdown");
+            assert_eq!(served.topk.len(), 6);
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let csr = collection(40);
+        let mut svc = service(&csr, 2, BatchPolicy::immediate());
+        svc.shutdown_inner();
+        assert!(matches!(
+            svc.submit(query_vector(64, 1), 3),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn metrics_snapshot_reports_latency_and_throughput() {
+        let csr = collection(120);
+        let svc = service(&csr, 3, BatchPolicy::default());
+        for seed in 0..20 {
+            svc.query(query_vector(64, seed), 5).unwrap();
+        }
+        let m = svc.metrics();
+        assert_eq!(m.served, 20);
+        assert!(m.latency_p50 > Duration::ZERO);
+        assert!(m.latency_p50 <= m.latency_p95 && m.latency_p95 <= m.latency_p99);
+        assert!(m.throughput_qps > 0.0);
+        assert!(m.uptime > Duration::ZERO);
+        let total: u64 = m.batch_size_histogram.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, m.batches);
+    }
+
+    #[test]
+    fn accessors_expose_the_layout() {
+        let csr = collection(64);
+        let svc = service(&csr, 4, BatchPolicy::immediate());
+        assert_eq!(svc.dim(), 64);
+        assert_eq!(svc.num_rows(), 64);
+        assert_eq!(svc.num_shards(), 4);
+    }
+
+    #[test]
+    fn dropped_ticket_does_not_wedge_the_service() {
+        let csr = collection(50);
+        let svc = service(&csr, 2, BatchPolicy::immediate());
+        drop(svc.submit(query_vector(64, 1), 3).unwrap());
+        // The abandoned request still executes; the service stays live.
+        let out = svc.query(query_vector(64, 2), 3).unwrap();
+        assert_eq!(out.topk.len(), 3);
+        assert_eq!(svc.shutdown().served, 2);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_exact_answers() {
+        let csr = collection(200);
+        let svc = service(
+            &csr,
+            3,
+            BatchPolicy::coalescing(8, Duration::from_micros(500)),
+        );
+        std::thread::scope(|scope| {
+            let svc = &svc;
+            let csr = &csr;
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    scope.spawn(move || {
+                        for q in 0..5 {
+                            let x = query_vector(64, t * 100 + q);
+                            let got = svc.query(x.clone(), 7).unwrap();
+                            assert_eq!(got.topk, direct_reference(csr, &x, 7));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(svc.shutdown().served, 40);
+    }
+}
