@@ -1,11 +1,32 @@
 //! Bounded min-heap for exact Top-K selection.
 
-/// A fixed-capacity min-heap keeping the `k` largest `(index, score)`
-/// pairs offered to it — the data structure at the heart of
-/// `sparse_dot_topn`-style CPU Top-K.
+use std::cmp::Ordering;
+
+/// Whether pair `a` ranks strictly below pair `b` under the workspace's
+/// ranking order: score descending, ties broken by ascending row index.
 ///
-/// Insertion is `O(log k)`; the heap root is always the smallest kept
-/// score so sub-threshold candidates are rejected in `O(1)`.
+/// Using the *total* order for selection — not just for the final sort —
+/// is what makes the kept set arrival-order invariant: when candidates
+/// tie at the capacity boundary, the lowest row ids win regardless of
+/// the order rows were scanned or partial heaps were merged in. The
+/// serving layer depends on this (cross-shard merges must reproduce the
+/// unsharded ranking however the shards slice the rows).
+fn ranks_below(a: (u32, f64), b: (u32, f64)) -> bool {
+    match a.1.total_cmp(&b.1) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a.0 > b.0,
+    }
+}
+
+/// A fixed-capacity min-heap keeping the `k` best `(index, score)`
+/// pairs offered to it — the data structure at the heart of
+/// `sparse_dot_topn`-style CPU Top-K. "Best" is the total ranking order
+/// (score descending, ties by ascending index), so the kept set equals
+/// a full sort's first `k` rows exactly, ties included.
+///
+/// Insertion is `O(log k)`; the heap root is always the worst kept
+/// pair so sub-threshold candidates are rejected in `O(1)`.
 ///
 /// # Example
 ///
@@ -55,12 +76,16 @@ impl BoundedMinHeap {
     }
 
     /// Offers a candidate; returns `true` if it was kept.
+    ///
+    /// A candidate displaces the current worst kept pair when it ranks
+    /// above it under the total order — so an equal score with a lower
+    /// row index *does* displace, keeping tie handling deterministic.
     pub fn push(&mut self, index: u32, score: f64) -> bool {
         if self.items.len() < self.capacity {
             self.items.push((index, score));
             self.sift_up(self.items.len() - 1);
             true
-        } else if score > self.items[0].1 {
+        } else if ranks_below(self.items[0], (index, score)) {
             self.items[0] = (index, score);
             self.sift_down(0);
             true
@@ -87,7 +112,7 @@ impl BoundedMinHeap {
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.items[i].1 < self.items[parent].1 {
+            if ranks_below(self.items[i], self.items[parent]) {
                 self.items.swap(i, parent);
                 i = parent;
             } else {
@@ -99,18 +124,18 @@ impl BoundedMinHeap {
     fn sift_down(&mut self, mut i: usize) {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut smallest = i;
-            if l < self.items.len() && self.items[l].1 < self.items[smallest].1 {
-                smallest = l;
+            let mut worst = i;
+            if l < self.items.len() && ranks_below(self.items[l], self.items[worst]) {
+                worst = l;
             }
-            if r < self.items.len() && self.items[r].1 < self.items[smallest].1 {
-                smallest = r;
+            if r < self.items.len() && ranks_below(self.items[r], self.items[worst]) {
+                worst = r;
             }
-            if smallest == i {
+            if worst == i {
                 break;
             }
-            self.items.swap(i, smallest);
-            i = smallest;
+            self.items.swap(i, worst);
+            i = worst;
         }
     }
 }
@@ -184,5 +209,45 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = BoundedMinHeap::new(0);
+    }
+
+    #[test]
+    fn tied_scores_keep_the_lowest_indices_regardless_of_arrival() {
+        // Six rows tie at 0.9 with capacity 3: the survivors must be the
+        // three lowest row ids however the candidates arrive.
+        let mut ids = vec![40u32, 7, 23, 3, 99, 15];
+        for _ in 0..ids.len() {
+            ids.rotate_left(1);
+            let mut h = BoundedMinHeap::new(3);
+            for &i in &ids {
+                h.push(i, 0.9);
+            }
+            assert_eq!(
+                h.into_sorted_desc(),
+                vec![(3, 0.9), (7, 0.9), (15, 0.9)],
+                "arrival order {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tied_scores_survive_heap_merges_deterministically() {
+        // Partial heaps merged in either order keep the same tie-group
+        // members — the cross-thread (and cross-shard) reduction must be
+        // commutative.
+        let build = |ids: &[u32]| {
+            let mut h = BoundedMinHeap::new(4);
+            for &i in ids {
+                h.push(i, if i % 2 == 0 { 0.9 } else { 0.5 });
+            }
+            h
+        };
+        let expected = vec![(2, 0.9), (4, 0.9), (8, 0.9), (10, 0.9)];
+        let mut ab = build(&[2, 5, 8, 11]);
+        ab.merge(build(&[4, 7, 10, 13]));
+        assert_eq!(ab.into_sorted_desc(), expected);
+        let mut ba = build(&[4, 7, 10, 13]);
+        ba.merge(build(&[2, 5, 8, 11]));
+        assert_eq!(ba.into_sorted_desc(), expected);
     }
 }

@@ -201,24 +201,7 @@ impl Accelerator {
             return Err(EngineError::empty_matrix());
         }
         let (layout, design) = self.design_for(csr.num_cols())?;
-        if !self.resources.is_feasible(&design) {
-            return Err(EngineError::infeasible(format!(
-                "{design:?} exceeds device resources"
-            )));
-        }
-        let uram = UramBudget::alveo_u280();
-        if !uram.supports(
-            design.cores,
-            design.b,
-            design.value_bits.max(16),
-            csr.num_cols(),
-        ) {
-            return Err(EngineError::infeasible(format!(
-                "query vector of {} entries does not fit URAM at {} cores",
-                csr.num_cols(),
-                design.cores
-            )));
-        }
+        self.check_feasibility(&design, csr.num_cols())?;
         let cores = (self.config.cores as usize).min(csr.num_rows());
         let partitions: Vec<(usize, BsCsr)> = csr
             .partition_rows(cores)
@@ -233,6 +216,119 @@ impl Accelerator {
             num_rows: csr.num_rows(),
             num_cols: csr.num_cols(),
             nnz: csr.nnz() as u64,
+        })
+    }
+
+    /// The device-placement gate shared by the encode path
+    /// ([`Accelerator::load_matrix`]) and the snapshot-restore path
+    /// ([`Accelerator::restore_matrix`]): resources and the URAM query
+    /// vector budget. One gate, so what loads and what restores can
+    /// never silently diverge.
+    fn check_feasibility(&self, design: &DesignPoint, num_cols: usize) -> Result<(), EngineError> {
+        if !self.resources.is_feasible(design) {
+            return Err(EngineError::infeasible(format!(
+                "{design:?} exceeds device resources"
+            )));
+        }
+        let uram = UramBudget::alveo_u280();
+        if !uram.supports(design.cores, design.b, design.value_bits.max(16), num_cols) {
+            return Err(EngineError::infeasible(format!(
+                "query vector of {num_cols} entries does not fit URAM at {} cores",
+                design.cores
+            )));
+        }
+        Ok(())
+    }
+
+    /// Adopts already-encoded BS-CSR partitions (read back from a
+    /// persisted snapshot) as a loaded matrix, skipping the encode —
+    /// the cheap half of the one-time cost [`Accelerator::load_matrix`]
+    /// pays from raw CSR.
+    ///
+    /// The partitions are revalidated against this accelerator exactly
+    /// as a fresh load would be: the precision must match the configured
+    /// design, the layout must equal what [`Accelerator::design_for`]
+    /// solves for the matrix width, the partition count must equal the
+    /// layout a fresh `load_matrix` would produce (core count clamped to
+    /// the row count — a snapshot from a different core count would
+    /// change the approximation), and the design must place on the
+    /// device. The packet streams themselves are assumed
+    /// structurally valid (snapshot reading runs `BsCsr::validate` per
+    /// partition).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] for precision/layout/partition-count
+    /// mismatches, [`EngineError::Infeasible`] if the design no longer
+    /// places, [`EngineError::InvalidConfig`] for an empty partition set.
+    pub fn restore_matrix(
+        &self,
+        precision: Precision,
+        layout: PacketLayout,
+        partitions: Vec<(u64, BsCsr)>,
+    ) -> Result<LoadedMatrix, EngineError> {
+        if precision != self.config.precision {
+            return Err(EngineError::bad_query(format!(
+                "snapshot is encoded as {}, backend expects {}",
+                precision.label(),
+                self.config.precision.label()
+            )));
+        }
+        if partitions.is_empty() {
+            return Err(EngineError::empty_matrix());
+        }
+        let num_cols = partitions[0].1.num_cols();
+        let (expected_layout, design) = self.design_for(num_cols)?;
+        if expected_layout != layout {
+            return Err(EngineError::bad_query(format!(
+                "snapshot layout {layout:?} does not match the layout this \
+                 design solves for {num_cols} columns ({expected_layout:?})"
+            )));
+        }
+        let mut num_rows = 0usize;
+        let mut nnz = 0u64;
+        let mut adopted: Vec<(usize, BsCsr)> = Vec::with_capacity(partitions.len());
+        for (first_row, part) in partitions {
+            if first_row as usize != num_rows || part.num_cols() != num_cols {
+                return Err(EngineError::bad_query(
+                    "snapshot partitions are not a contiguous single-width row cover".to_string(),
+                ));
+            }
+            // Each partition's own layout must equal the declared one:
+            // the snapshot reader enforces this, but `SnapshotPayload`
+            // is a public type, and a partition encoded under another
+            // layout would decode to silently wrong scores rather than
+            // an error.
+            if part.layout() != layout {
+                return Err(EngineError::bad_query(format!(
+                    "partition at row {first_row} is encoded with layout {:?}, \
+                     snapshot declares {layout:?}",
+                    part.layout()
+                )));
+            }
+            num_rows += part.num_rows();
+            nnz += part.logical_nnz();
+            adopted.push((first_row as usize, part));
+        }
+        let expected_parts = (self.config.cores as usize).min(num_rows);
+        if adopted.len() != expected_parts {
+            return Err(EngineError::bad_query(format!(
+                "snapshot holds {} partitions but this {}-core design would \
+                 load {expected_parts}; the core partitioning is part of the \
+                 approximation and cannot be adopted across designs",
+                adopted.len(),
+                self.config.cores
+            )));
+        }
+        self.check_feasibility(&design, num_cols)?;
+        Ok(LoadedMatrix {
+            precision,
+            layout,
+            design,
+            partitions: adopted,
+            num_rows,
+            num_cols,
+            nnz,
         })
     }
 

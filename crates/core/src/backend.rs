@@ -23,8 +23,11 @@
 //! answers arrive.
 
 use std::any::Any;
+use std::io::{Read, Write};
+use std::path::Path;
 
 use tkspmv_sparse::gen::query_vector;
+use tkspmv_sparse::snapshot::{Snapshot, SnapshotError, SnapshotPayload};
 use tkspmv_sparse::{Csr, DenseVector};
 
 use crate::accelerator::{Accelerator, LoadedMatrix};
@@ -99,6 +102,46 @@ pub trait TopKBackend: Send + Sync {
         k: usize,
     ) -> Result<Vec<QueryResult>, EngineError> {
         batch.iter().map(|x| self.query(matrix, x, k)).collect()
+    }
+
+    /// Serialises a prepared matrix's private state into a snapshot
+    /// payload — the backend half of [`PreparedMatrix::save`].
+    ///
+    /// The default implementation covers every backend whose prepared
+    /// state is the source [`Csr`] (the CPU and GPU baselines keep the
+    /// matrix as-is); backends with a richer prepared form override it —
+    /// the accelerator persists its encoded per-core BS-CSR partitions.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] if `matrix` does not belong to this
+    /// backend's family.
+    fn snapshot_payload(&self, matrix: &PreparedMatrix) -> Result<SnapshotPayload, EngineError> {
+        let csr: &Csr = matrix.downcast(&self.family())?;
+        Ok(SnapshotPayload::Csr(csr.clone()))
+    }
+
+    /// Reconstructs a prepared matrix from a snapshot payload — the
+    /// backend half of [`PreparedMatrix::load`].
+    ///
+    /// The default implementation re-prepares from a persisted CSR
+    /// (free for the baselines, whose `prepare` is a clone); the
+    /// accelerator overrides it to adopt the encoded partitions without
+    /// re-running the layout solve and encode.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] if the payload shape is not one this
+    /// backend can restore; otherwise whatever
+    /// [`TopKBackend::prepare`]-level validation reports.
+    fn restore_payload(&self, payload: SnapshotPayload) -> Result<PreparedMatrix, EngineError> {
+        match payload {
+            SnapshotPayload::Csr(csr) => self.prepare(&csr),
+            _ => Err(EngineError::bad_query(format!(
+                "backend `{}` cannot restore this snapshot payload kind",
+                self.name()
+            ))),
+        }
     }
 }
 
@@ -191,6 +234,129 @@ impl PreparedMatrix {
             .ok_or_else(|| EngineError::corrupt_prepared_state(family))
     }
 
+    /// Persists this prepared collection as a versioned, checksummed
+    /// snapshot (see [`tkspmv_sparse::snapshot`]), so the next process
+    /// can [`PreparedMatrix::load`] it instead of re-paying `prepare`.
+    ///
+    /// `backend` must be of the family that prepared this matrix; it
+    /// supplies the payload through [`TopKBackend::snapshot_payload`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::FamilyMismatch`] for a foreign backend,
+    /// [`SnapshotError::Rejected`] if the backend cannot serialise the
+    /// state, [`SnapshotError::Io`] on write failure.
+    pub fn save<W: Write>(
+        &self,
+        backend: &dyn TopKBackend,
+        writer: W,
+    ) -> Result<(), SnapshotError> {
+        let family = backend.family();
+        if self.family != family {
+            return Err(SnapshotError::FamilyMismatch {
+                snapshot: self.family.clone(),
+                backend: family,
+            });
+        }
+        let payload = backend
+            .snapshot_payload(self)
+            .map_err(|e| SnapshotError::Rejected {
+                detail: e.to_string(),
+            })?;
+        Snapshot {
+            family,
+            num_rows: self.num_rows as u64,
+            num_cols: self.num_cols as u64,
+            nnz: self.nnz,
+            payload,
+        }
+        .write_to(writer)
+    }
+
+    /// [`PreparedMatrix::save`] to a file path (buffered).
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedMatrix::save`], plus file-creation failures.
+    pub fn save_to_path(
+        &self,
+        backend: &dyn TopKBackend,
+        path: impl AsRef<Path>,
+    ) -> Result<(), SnapshotError> {
+        let file = std::fs::File::create(path)?;
+        self.save(backend, std::io::BufWriter::new(file))
+    }
+
+    /// Loads a prepared collection persisted by [`PreparedMatrix::save`],
+    /// fully verifying the stream (magic, version, structure, CRC) and
+    /// that it belongs to `backend`'s family, then letting the backend
+    /// adopt it through [`TopKBackend::restore_payload`].
+    ///
+    /// A loaded matrix answers queries element-wise identical to a fresh
+    /// `prepare` of the same collection (property-tested per backend in
+    /// `tests/snapshot_roundtrip.rs`) — only the load is cheaper: the
+    /// accelerator skips the whole layout-solve + encode step.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: truncation, corruption, or version skew in
+    /// the stream; [`SnapshotError::FamilyMismatch`] if the snapshot was
+    /// saved by a different backend family (including an accelerator of
+    /// a different precision — the family string carries it);
+    /// [`SnapshotError::Rejected`] if the backend refuses the payload.
+    pub fn load<R: Read>(
+        backend: &dyn TopKBackend,
+        reader: R,
+    ) -> Result<PreparedMatrix, SnapshotError> {
+        let Snapshot {
+            family: snapshot_family,
+            num_rows,
+            num_cols,
+            nnz,
+            payload,
+        } = Snapshot::read_from(reader)?;
+        let family = backend.family();
+        if snapshot_family != family {
+            return Err(SnapshotError::FamilyMismatch {
+                snapshot: snapshot_family,
+                backend: family,
+            });
+        }
+        let prepared = backend
+            .restore_payload(payload)
+            .map_err(|e| SnapshotError::Rejected {
+                detail: e.to_string(),
+            })?;
+        if (
+            prepared.num_rows as u64,
+            prepared.num_cols as u64,
+            prepared.nnz,
+        ) != (num_rows, num_cols, nnz)
+        {
+            return Err(SnapshotError::Invalid {
+                detail: format!(
+                    "restored matrix shape {}x{} ({} nnz) contradicts the snapshot \
+                     header {num_rows}x{num_cols} ({nnz} nnz)",
+                    prepared.num_rows, prepared.num_cols, prepared.nnz
+                ),
+            });
+        }
+        Ok(prepared)
+    }
+
+    /// [`PreparedMatrix::load`] from a file path (buffered).
+    ///
+    /// # Errors
+    ///
+    /// As [`PreparedMatrix::load`], plus file-open failures.
+    pub fn load_from_path(
+        backend: &dyn TopKBackend,
+        path: impl AsRef<Path>,
+    ) -> Result<PreparedMatrix, SnapshotError> {
+        let file = std::fs::File::open(path)?;
+        Self::load(backend, std::io::BufReader::new(file))
+    }
+
     /// Splits an embedding collection into `shards` row-contiguous
     /// partitions and prepares each one through `backend` — the
     /// serving-layer analogue of the paper's per-HBM-channel row
@@ -242,6 +408,16 @@ pub struct MatrixShard {
 }
 
 impl MatrixShard {
+    /// Wraps an independently prepared (or snapshot-loaded) collection
+    /// as the shard starting at global row `start_row` — the
+    /// reconstruction path for serving layers that persist each shard
+    /// with [`PreparedMatrix::save`] and reassemble the fleet after a
+    /// restart. Layout invariants (contiguity, matching dimensions) are
+    /// the assembling caller's to enforce across the shard set.
+    pub fn new(start_row: usize, matrix: PreparedMatrix) -> Self {
+        Self { start_row, matrix }
+    }
+
     /// Global index of this shard's first row.
     pub fn start_row(&self) -> usize {
         self.start_row
@@ -537,6 +713,44 @@ impl TopKBackend for Accelerator {
         let outs = self.query_batch(loaded, batch.queries(), k)?;
         Ok(outs.into_iter().map(fpga_result).collect())
     }
+
+    /// The accelerator persists its *encoded* form — per-core BS-CSR
+    /// packet streams plus the layout and precision — so a load skips
+    /// the one-time encode entirely.
+    fn snapshot_payload(&self, matrix: &PreparedMatrix) -> Result<SnapshotPayload, EngineError> {
+        let loaded = checked_loaded(self, matrix)?;
+        Ok(SnapshotPayload::BsCsrPartitions {
+            precision: loaded.precision,
+            layout: loaded.layout,
+            partitions: loaded
+                .partitions
+                .iter()
+                .map(|(first_row, part)| (*first_row as u64, part.clone()))
+                .collect(),
+        })
+    }
+
+    fn restore_payload(&self, payload: SnapshotPayload) -> Result<PreparedMatrix, EngineError> {
+        let SnapshotPayload::BsCsrPartitions {
+            precision,
+            layout,
+            partitions,
+        } = payload
+        else {
+            return Err(EngineError::bad_query(format!(
+                "backend `{}` restores BS-CSR partition snapshots, not raw CSR payloads",
+                self.name()
+            )));
+        };
+        let loaded = self.restore_matrix(precision, layout, partitions)?;
+        Ok(PreparedMatrix::new(
+            self.name(),
+            loaded.num_rows,
+            loaded.num_cols,
+            loaded.nnz,
+            loaded,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -671,6 +885,109 @@ mod tests {
             let err =
                 PreparedMatrix::prepare_row_shards(backend.as_ref(), &csr, shards).unwrap_err();
             assert!(matches!(err, EngineError::InvalidConfig { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn snapshot_save_load_round_trips_the_accelerator() {
+        let backend = accelerator_backend();
+        let csr = small_matrix();
+        let prepared = backend.prepare(&csr).unwrap();
+        let mut buf = Vec::new();
+        prepared.save(backend.as_ref(), &mut buf).unwrap();
+        let loaded = PreparedMatrix::load(backend.as_ref(), buf.as_slice()).unwrap();
+        assert_eq!(loaded.family(), prepared.family());
+        assert_eq!(loaded.num_rows(), prepared.num_rows());
+        assert_eq!(loaded.num_cols(), prepared.num_cols());
+        assert_eq!(loaded.nnz(), prepared.nnz());
+        for seed in 0..3 {
+            let x = query_vector(256, seed);
+            let fresh = backend.query(&prepared, &x, 20).unwrap();
+            let restored = backend.query(&loaded, &x, 20).unwrap();
+            assert_eq!(fresh.topk, restored.topk);
+            assert_eq!(fresh.perf, restored.perf);
+        }
+    }
+
+    #[test]
+    fn snapshot_family_checks_are_typed() {
+        use tkspmv_fixed::Precision;
+        let b20 = accelerator_backend();
+        let b32: Box<dyn TopKBackend> = Box::new(
+            Accelerator::builder()
+                .precision(Precision::Fixed32)
+                .cores(8)
+                .k(8)
+                .build()
+                .unwrap(),
+        );
+        let prepared = b20.prepare(&small_matrix()).unwrap();
+        // Saving through a foreign backend is refused outright.
+        let mut scratch = Vec::new();
+        assert!(matches!(
+            prepared.save(b32.as_ref(), &mut scratch),
+            Err(SnapshotError::FamilyMismatch { .. })
+        ));
+        // A 20-bit snapshot cannot load into a 32-bit design: the family
+        // string carries the precision, so the mismatch is typed before
+        // the payload is ever adopted.
+        let mut buf = Vec::new();
+        prepared.save(b20.as_ref(), &mut buf).unwrap();
+        assert!(matches!(
+            PreparedMatrix::load(b32.as_ref(), buf.as_slice()),
+            Err(SnapshotError::FamilyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_from_a_different_core_count_is_rejected() {
+        // Same family ("fpga-20b"), different core partitioning: the
+        // partition layout is part of the approximation, so adopting it
+        // silently would change answers relative to a fresh prepare.
+        let b8 = accelerator_backend();
+        let b4: Box<dyn TopKBackend> =
+            Box::new(Accelerator::builder().cores(4).k(8).build().unwrap());
+        let prepared = b8.prepare(&small_matrix()).unwrap();
+        let mut buf = Vec::new();
+        prepared.save(b8.as_ref(), &mut buf).unwrap();
+        match PreparedMatrix::load(b4.as_ref(), buf.as_slice()) {
+            Err(SnapshotError::Rejected { detail }) => {
+                assert!(detail.contains("partitions"), "{detail}");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_a_file() {
+        let backend = accelerator_backend();
+        let prepared = backend.prepare(&small_matrix()).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "tkspmv-snapshot-test-{}.tksnap",
+            std::process::id()
+        ));
+        prepared.save_to_path(backend.as_ref(), &path).unwrap();
+        let loaded = PreparedMatrix::load_from_path(backend.as_ref(), &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let x = query_vector(256, 9);
+        assert_eq!(
+            backend.query(&prepared, &x, 10).unwrap().topk,
+            backend.query(&loaded, &x, 10).unwrap().topk
+        );
+    }
+
+    #[test]
+    fn matrix_shard_new_rebases_like_prepared_shards() {
+        let backend = accelerator_backend();
+        let csr = small_matrix();
+        let prepared = backend.prepare(&csr).unwrap();
+        let shard = MatrixShard::new(100, prepared);
+        assert_eq!(shard.start_row(), 100);
+        let out = backend
+            .query(shard.matrix(), &query_vector(256, 2), 5)
+            .unwrap();
+        for (row, _) in shard.globalize(&out.topk) {
+            assert!((100..100 + shard.num_rows() as u32).contains(&row));
         }
     }
 

@@ -226,6 +226,15 @@ impl TopKResult {
     /// The clone-free reduction primitive: callers that already hold
     /// per-core pair vectors move them straight in (one flat collect and
     /// one sort, no intermediate per-part [`TopKResult`]s).
+    ///
+    /// The merge is a *total* order — score descending, then row id
+    /// ascending — so equal scores are broken deterministically and the
+    /// result is invariant to the arrival order of the pairs. This is a
+    /// serving-layer correctness requirement, not a nicety: cross-shard
+    /// merges in `tkspmv_serve` must return identical rankings however
+    /// the per-shard candidate lists happen to be grouped or ordered
+    /// (property-tested in `tests/serve_equivalence.rs`), including at
+    /// the truncation boundary where a tie decides who makes the cut.
     pub fn merge_pairs<I: IntoIterator<Item = (u32, f64)>>(pairs: I, k: usize) -> Self {
         Self::from_pairs(pairs.into_iter().collect()).truncated(k)
     }
@@ -310,6 +319,32 @@ mod tests {
     fn result_ordering_is_deterministic_on_ties() {
         let r = TopKResult::from_pairs(vec![(7, 0.5), (3, 0.5), (5, 0.5)]);
         assert_eq!(r.indices(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn merge_ties_are_arrival_order_invariant_at_the_cut() {
+        // Four rows tie at the truncation boundary; whichever order (or
+        // shard grouping) the pairs arrive in, the ascending-row-id tie
+        // break must pick the same survivors.
+        let pairs = vec![(9u32, 0.5), (2, 0.5), (7, 0.5), (4, 0.5), (1, 0.9)];
+        let expected = vec![1, 2, 4];
+        let mut arrangement = pairs.clone();
+        // Try every rotation and the reverse of each: 10 arrival orders.
+        for _ in 0..pairs.len() {
+            arrangement.rotate_left(1);
+            let merged = TopKResult::merge_pairs(arrangement.clone(), 3);
+            assert_eq!(merged.indices(), expected, "order {arrangement:?}");
+            let mut reversed = arrangement.clone();
+            reversed.reverse();
+            let merged = TopKResult::merge_pairs(reversed.clone(), 3);
+            assert_eq!(merged.indices(), expected, "order {reversed:?}");
+        }
+        // And it is grouping-invariant: merging pre-merged halves (the
+        // cross-shard picture) equals the flat merge.
+        let left = TopKResult::merge_pairs(pairs[..2].to_vec(), 3);
+        let right = TopKResult::merge_pairs(pairs[2..].to_vec(), 3);
+        let merged = TopKResult::merge([left, right], 3);
+        assert_eq!(merged.indices(), expected);
     }
 
     #[test]

@@ -39,8 +39,21 @@
 //! - **Merge** — per-shard Top-K answers are re-based to global row
 //!   indices and reduced with [`tkspmv::TopKResult::merge_pairs`], the
 //!   same reduction the accelerator uses across cores.
+//! - **Hot swap** — [`TopKService::swap_collection`] (and
+//!   [`TopKService::swap_shards`], fed from persisted snapshots)
+//!   replaces the served collection under live traffic by installing a
+//!   new *epoch*: requests admitted before the swap finish against the
+//!   collection they were admitted to, later admissions see the new
+//!   one, the batcher never mixes epochs in one backend batch, and no
+//!   worker pool restarts. [`ServiceMetrics::epoch`] /
+//!   [`ServiceMetrics::swaps`] account for it.
+//! - **Cold start from snapshots** — `ServiceBuilder::build_from_shards`
+//!   assembles a service from shards loaded with
+//!   `tkspmv::PreparedMatrix::load`, so a restart pays disk I/O instead
+//!   of re-encoding the collection.
 //! - **Observability** — [`ServiceMetrics`] snapshots p50/p95/p99
-//!   latency, the batch-size histogram, throughput and shed counts.
+//!   latency, the batch-size histogram, throughput, shed counts, the
+//!   serving epoch, and batcher wake-ups.
 //! - **Shutdown** — [`TopKService::shutdown`] (and `Drop`) stops
 //!   admissions, drains every queued and in-flight request to a
 //!   response, and joins all threads.

@@ -40,6 +40,16 @@ pub struct ServiceMetrics {
     pub throughput_qps: f64,
     /// Time since the service started.
     pub uptime: Duration,
+    /// Collection epoch currently being served (0 until the first
+    /// hot swap; each `TopKService::swap_collection` increments it).
+    pub epoch: u64,
+    /// Hot swaps performed since start-up.
+    pub swaps: u64,
+    /// Times the batcher thread has woken up (seeded a batch or returned
+    /// from a condvar wait). Bounded by a small multiple of the request
+    /// count — the regression guard against the batcher busy-spinning
+    /// (e.g. under a zero `max_wait` policy).
+    pub batcher_wakeups: u64,
 }
 
 /// Mutable counters behind the service's metrics mutex.
@@ -54,6 +64,9 @@ pub(crate) struct MetricsInner {
     batches: u64,
     /// `batch_hist[s]` = batches dispatched holding exactly `s` queries.
     batch_hist: Vec<u64>,
+    /// Current collection epoch and the number of swaps that produced it.
+    epoch: u64,
+    swaps: u64,
 }
 
 impl MetricsInner {
@@ -67,6 +80,8 @@ impl MetricsInner {
             shed: 0,
             batches: 0,
             batch_hist: Vec::new(),
+            epoch: 0,
+            swaps: 0,
         }
     }
 
@@ -97,7 +112,12 @@ impl MetricsInner {
         self.batch_hist[size] += 1;
     }
 
-    pub(crate) fn snapshot(&self) -> ServiceMetrics {
+    pub(crate) fn record_swap(&mut self, new_epoch: u64) {
+        self.swaps += 1;
+        self.epoch = new_epoch;
+    }
+
+    pub(crate) fn snapshot(&self, batcher_wakeups: u64) -> ServiceMetrics {
         let mut sorted = self.latencies_us.clone();
         sorted.sort_unstable();
         let uptime = self.started.elapsed();
@@ -133,18 +153,29 @@ impl MetricsInner {
                 self.served as f64 / uptime.as_secs_f64()
             },
             uptime,
+            epoch: self.epoch,
+            swaps: self.swaps,
+            batcher_wakeups,
         }
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted sample, zero when
-/// the sample is empty.
+/// Nearest-rank percentile over an ascending-sorted sample.
+///
+/// `Duration::ZERO` only for an empty window; any non-empty sample
+/// returns an observed latency. The rank is `ceil(q * n)` with a slop
+/// guard so binary-float products that land epsilon above an integer
+/// (e.g. `0.95 * 20 = 19.000000000000004`) still resolve to that
+/// integer rank, and the result is clamped into `1..=n` — so the p99 of
+/// one or two samples is the max, never an out-of-range index and never
+/// rounded down to the min.
 fn percentile(sorted_us: &[u64], q: f64) -> Duration {
-    if sorted_us.is_empty() {
+    let n = sorted_us.len();
+    if n == 0 {
         return Duration::ZERO;
     }
-    let rank = (q * sorted_us.len() as f64).ceil() as usize;
-    Duration::from_micros(sorted_us[rank.clamp(1, sorted_us.len()) - 1])
+    let rank = (q * n as f64 - 1e-9).ceil() as usize;
+    Duration::from_micros(sorted_us[rank.clamp(1, n) - 1])
 }
 
 #[cfg(test)]
@@ -162,6 +193,50 @@ mod tests {
     }
 
     #[test]
+    fn tiny_samples_pin_high_percentiles_to_the_max() {
+        // One sample: every percentile is that sample.
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&[42], q), Duration::from_micros(42), "q={q}");
+        }
+        // Two samples: p95/p99 are the max (rank ceil(q*2) = 2), p50 is
+        // the lower sample (rank 1) — never the min for the tails, never
+        // out of range.
+        assert_eq!(percentile(&[10, 90], 0.50), Duration::from_micros(10));
+        assert_eq!(percentile(&[10, 90], 0.95), Duration::from_micros(90));
+        assert_eq!(percentile(&[10, 90], 0.99), Duration::from_micros(90));
+        // Three samples: p99 rank = ceil(2.97) = 3.
+        assert_eq!(percentile(&[1, 2, 3], 0.99), Duration::from_micros(3));
+    }
+
+    #[test]
+    fn rank_arithmetic_survives_float_slop() {
+        // 0.95 * 20 rounds to 19.000000000000004 in f64; a naive ceil
+        // would yield rank 20 and report the p100 as the p95.
+        let sample: Vec<u64> = (1..=20).collect();
+        assert_eq!(percentile(&sample, 0.95), Duration::from_micros(19));
+        // And across a sweep of sizes, the nearest rank is exact.
+        for n in 1..=64u64 {
+            let sample: Vec<u64> = (1..=n).collect();
+            for (q, num) in [(0.5, 1u64), (0.95, 19), (0.99, 99)] {
+                let den: u64 = match num {
+                    1 => 2,
+                    19 => 20,
+                    _ => 100,
+                };
+                let expected = (n * num).div_ceil(den).clamp(1, n);
+                assert_eq!(
+                    percentile(&sample, q),
+                    Duration::from_micros(expected),
+                    "q={q} n={n}"
+                );
+            }
+        }
+        // Degenerate q values stay in range.
+        assert_eq!(percentile(&[5, 6], 0.0), Duration::from_micros(5));
+        assert_eq!(percentile(&[5, 6], 1.0), Duration::from_micros(6));
+    }
+
+    #[test]
     fn snapshot_aggregates_counters() {
         let mut m = MetricsInner::new();
         for us in [100u64, 200, 300, 400] {
@@ -172,7 +247,7 @@ mod tests {
         m.record_batch(1);
         m.record_batch(3);
         m.record_batch(3);
-        let s = m.snapshot();
+        let s = m.snapshot(0);
         assert_eq!(s.served, 4);
         assert_eq!(s.failed, 2);
         assert_eq!(s.shed, 1);
@@ -191,12 +266,12 @@ mod tests {
             m.record_served(Duration::from_micros(i));
         }
         assert_eq!(m.latencies_us.len(), LATENCY_RESERVOIR);
-        assert_eq!(m.snapshot().served, LATENCY_RESERVOIR as u64 + 10);
+        assert_eq!(m.snapshot(0).served, LATENCY_RESERVOIR as u64 + 10);
     }
 
     #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let s = MetricsInner::new().snapshot();
+        let s = MetricsInner::new().snapshot(0);
         assert_eq!(s.served, 0);
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.latency_p99, Duration::ZERO);

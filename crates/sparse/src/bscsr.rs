@@ -20,6 +20,7 @@ use tkspmv_fixed::SpmvScalar;
 
 use crate::bitio::BitWriter;
 use crate::csr::Csr;
+use crate::error::SparseError;
 use crate::layout::PacketLayout;
 use crate::packet::{extract_field, field_mask, Packet512, PACKET_BYTES};
 
@@ -123,6 +124,66 @@ impl BsCsr {
             stored_entries: stream.len() as u64,
             logical_nnz: csr.nnz() as u64,
         }
+    }
+
+    /// Reconstructs an encoded matrix from its raw parts — the path a
+    /// persisted snapshot takes back into memory, skipping the encode.
+    ///
+    /// The counts are cross-checked against the packet stream and the
+    /// stream's structural invariants are fully revalidated with
+    /// [`BsCsr::validate`]: bytes from disk (or device readback) are
+    /// untrusted until proven consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::DimensionTooLarge`] if `num_cols` exceeds what the
+    /// layout's `idx` field can address, [`SparseError::CorruptPacketStream`]
+    /// for any count or invariant violation.
+    pub fn from_parts(
+        layout: PacketLayout,
+        packets: Vec<Packet512>,
+        num_rows: usize,
+        num_cols: usize,
+        stored_entries: u64,
+        logical_nnz: u64,
+    ) -> Result<Self, SparseError> {
+        if num_cols > 1usize << layout.idx_bits().min(63) {
+            return Err(SparseError::DimensionTooLarge {
+                detail: format!(
+                    "{num_cols} columns exceed the layout's {}-bit index field",
+                    layout.idx_bits()
+                ),
+            });
+        }
+        let corrupt = |detail: String| SparseError::CorruptPacketStream { detail };
+        if packets.len() as u64 != layout.packets_for(stored_entries) {
+            return Err(corrupt(format!(
+                "{} packets cannot hold exactly {stored_entries} entries at B = {}",
+                packets.len(),
+                layout.entries_per_packet()
+            )));
+        }
+        if logical_nnz > stored_entries {
+            return Err(corrupt(format!(
+                "logical nnz {logical_nnz} exceeds {stored_entries} stored entries"
+            )));
+        }
+        if stored_entries < num_rows as u64 {
+            return Err(corrupt(format!(
+                "{stored_entries} stored entries cannot terminate {num_rows} rows \
+                 (every row stores at least a placeholder)"
+            )));
+        }
+        let matrix = Self {
+            layout,
+            packets,
+            num_rows,
+            num_cols,
+            stored_entries,
+            logical_nnz,
+        };
+        matrix.validate().map_err(corrupt)?;
+        Ok(matrix)
     }
 
     /// The packet layout in use.
@@ -240,15 +301,46 @@ impl BsCsr {
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
+    ///
+    /// # Performance
+    ///
+    /// Only the `new_row` bit and the `ptr` region of each packet are
+    /// decoded — the `idx`/`val` fields play no part in the structural
+    /// invariants — so validating is several times cheaper than a full
+    /// decode pass. This matters on the snapshot-load path, whose whole
+    /// point is to be much cheaper than re-encoding while still
+    /// distrusting every byte it reads.
     pub fn validate(&self) -> Result<(), String> {
+        let b = self.layout.entries_per_packet() as usize;
+        let ptr_bits = self.layout.ptr_bits();
+        let ptr_mask = field_mask(ptr_bits);
         let mut rows_terminated = 0u64;
         let mut prev_tail_open = false;
-        let mut view = PacketScratch::new();
         for p in 0..self.num_packets() {
             let real = self.entries_in_packet(p);
-            PacketView::parse_into(&self.packets[p], self.layout, real, &mut view);
+            let words = self.packets[p].words();
+            let new_row = words[0] & 1 == 1;
+            if p == 0 && !new_row {
+                return Err("packet 0 cannot continue a previous row".to_string());
+            }
+            if p > 0 && new_row == prev_tail_open {
+                return Err(format!(
+                    "packet {p}: new_row={new_row} contradicts previous packet tail \
+                     (open={prev_tail_open})"
+                ));
+            }
+            // Walk the ptr fields exactly as `PacketView::parse_into`
+            // does (non-zero entries are row ends), without touching the
+            // idx/val regions.
             let mut prev_end = 0u32;
-            for &end in &view.row_ends {
+            let mut ends_in_packet = 0u64;
+            let mut pos = 1usize;
+            for _ in 0..b {
+                let end = extract_field(words, pos, ptr_bits, ptr_mask) as u32;
+                pos += ptr_bits as usize;
+                if end == 0 {
+                    continue;
+                }
                 if end <= prev_end {
                     return Err(format!(
                         "packet {p}: ptr entries not strictly increasing ({end} after {prev_end})"
@@ -260,20 +352,38 @@ impl BsCsr {
                     ));
                 }
                 prev_end = end;
+                ends_in_packet += 1;
             }
-            if p == 0 && !view.new_row {
-                return Err("packet 0 cannot continue a previous row".to_string());
-            }
-            if p > 0 && view.new_row == prev_tail_open {
-                return Err(format!(
-                    "packet {p}: new_row={} contradicts previous packet tail (open={})",
-                    view.new_row, prev_tail_open
-                ));
-            }
-            rows_terminated += view.row_ends.len() as u64;
+            rows_terminated += ends_in_packet;
             // Entries after the last row end (the whole packet if no row
             // ends here) carry into the next packet.
-            prev_tail_open = view.tail_len() > 0;
+            prev_tail_open = real > prev_end as usize;
+        }
+        // Column indices must address the dense vector: the engine's
+        // gather is `x[idx]`, so an out-of-range index in a doctored
+        // stream would be a query-time panic, not a typed error. When
+        // `num_cols` fills the idx field exactly (a power of two) every
+        // encodable value is in range and the scan is skipped — the
+        // common case pays nothing.
+        if (self.num_cols as u64) < 1u64 << self.layout.idx_bits().min(63) {
+            let idx_bits = self.layout.idx_bits();
+            let idx_mask = field_mask(idx_bits);
+            let idx_base = 1 + b * ptr_bits as usize;
+            for p in 0..self.num_packets() {
+                let real = self.entries_in_packet(p);
+                let words = self.packets[p].words();
+                let mut pos = idx_base;
+                for j in 0..real {
+                    let idx = extract_field(words, pos, idx_bits, idx_mask);
+                    pos += idx_bits as usize;
+                    if idx >= self.num_cols as u64 {
+                        return Err(format!(
+                            "packet {p} entry {j}: column index {idx} outside {} columns",
+                            self.num_cols
+                        ));
+                    }
+                }
+            }
         }
         if prev_tail_open {
             return Err("stream ends with an unterminated row".to_string());
@@ -747,6 +857,119 @@ mod tests {
         assert_eq!(bs.validate(), Ok(()));
         bs.packets_mut()[1].words_mut()[0] ^= 1; // new_row bit is bit 0
         assert!(bs.validate().is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_an_encoded_stream() {
+        let csr = tkspmv_sparse_gen_matrix(7);
+        let bs = BsCsr::encode::<Q1_19>(&csr, layout20(csr.num_cols()));
+        let back = BsCsr::from_parts(
+            bs.layout(),
+            bs.packets().to_vec(),
+            bs.num_rows(),
+            bs.num_cols(),
+            bs.stored_entries(),
+            bs.logical_nnz(),
+        )
+        .unwrap();
+        assert_eq!(back, bs);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_counts() {
+        let csr = tkspmv_sparse_gen_matrix(8);
+        let bs = BsCsr::encode::<Q1_19>(&csr, layout20(csr.num_cols()));
+        let parts = |packets: Vec<crate::Packet512>, rows, stored, nnz| {
+            BsCsr::from_parts(bs.layout(), packets, rows, bs.num_cols(), stored, nnz)
+        };
+        // One packet chopped off: count no longer matches stored entries.
+        let chopped = bs.packets()[..bs.num_packets() - 1].to_vec();
+        assert!(matches!(
+            parts(
+                chopped,
+                bs.num_rows(),
+                bs.stored_entries(),
+                bs.logical_nnz()
+            ),
+            Err(SparseError::CorruptPacketStream { .. })
+        ));
+        // Logical nnz beyond the stored entries.
+        assert!(matches!(
+            parts(
+                bs.packets().to_vec(),
+                bs.num_rows(),
+                bs.stored_entries(),
+                bs.stored_entries() + 1
+            ),
+            Err(SparseError::CorruptPacketStream { .. })
+        ));
+        // A row count the stream does not terminate.
+        assert!(matches!(
+            parts(
+                bs.packets().to_vec(),
+                bs.num_rows() - 1,
+                bs.stored_entries(),
+                bs.logical_nnz()
+            ),
+            Err(SparseError::CorruptPacketStream { .. })
+        ));
+        // A corrupted ptr field fails the revalidation pass.
+        let mut smashed = bs.packets().to_vec();
+        let mid = smashed.len() / 2;
+        smashed[mid].words_mut()[0] ^= 0b11110;
+        assert!(matches!(
+            parts(
+                smashed,
+                bs.num_rows(),
+                bs.stored_entries(),
+                bs.logical_nnz()
+            ),
+            Err(SparseError::CorruptPacketStream { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_column_indices() {
+        // A non-power-of-two width leaves headroom in the idx field:
+        // 1000 columns, 10-bit idx can encode up to 1023. A doctored
+        // stream holding such an index must be a typed validation
+        // failure, not a query-time panic in `x[idx]`.
+        let csr = Csr::from_triplets(2, 1000, &[(0, 3, 0.5), (1, 900, 0.25)]).unwrap();
+        let layout = PacketLayout::solve(1000, 20).unwrap();
+        let bs = BsCsr::encode::<Q1_19>(&csr, layout);
+        assert_eq!(bs.validate(), Ok(()));
+        // Overwrite entry 1's idx field with 1020. (Entry 1's field lies
+        // at bit 1 + B*ptr_bits + idx_bits = 71, wholly inside word 1,
+        // so a single masked word write doctors it.)
+        let idx_base = 1 + layout.entries_per_packet() as usize * layout.ptr_bits() as usize;
+        let pos = idx_base + layout.idx_bits() as usize;
+        let (word, shift) = (pos / 64, pos % 64);
+        assert!(
+            shift + layout.idx_bits() as usize <= 64,
+            "field fits one word"
+        );
+        let mut doctored = bs.clone();
+        let words = doctored.packets_mut()[0].words_mut();
+        let keep_mask = !(((1u64 << layout.idx_bits()) - 1) << shift);
+        words[word] = (words[word] & keep_mask) | (1020u64 << shift);
+        let err = doctored.validate().unwrap_err();
+        assert!(err.contains("column index 1020"), "{err}");
+        assert!(matches!(
+            BsCsr::from_parts(
+                layout,
+                doctored.packets().to_vec(),
+                doctored.num_rows(),
+                doctored.num_cols(),
+                doctored.stored_entries(),
+                doctored.logical_nnz(),
+            ),
+            Err(SparseError::CorruptPacketStream { .. })
+        ));
+        // At an exactly-filled width every encodable index is in range,
+        // so the scan is skipped and valid streams still validate.
+        let pow2 = Csr::from_triplets(2, 1024, &[(0, 1023, 0.5), (1, 0, 0.25)]).unwrap();
+        let bs = BsCsr::encode::<Q1_19>(&pow2, PacketLayout::solve(1024, 20).unwrap());
+        assert_eq!(bs.validate(), Ok(()));
     }
 
     #[test]

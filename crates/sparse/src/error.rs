@@ -43,6 +43,22 @@ pub enum SparseError {
         /// Description of the limit that was exceeded.
         detail: String,
     },
+    /// A declared non-zero count exceeds what the declared shape can
+    /// hold — a hostile or corrupt header, not a real matrix.
+    TooManyNonZeros {
+        /// The declared non-zero count.
+        nnz: u64,
+        /// The shape's cell capacity (`rows * cols`).
+        capacity: u64,
+    },
+    /// A BS-CSR packet stream violates its structural invariants
+    /// (inconsistent counts, non-increasing `ptr` entries, contradictory
+    /// `new_row` bits) — detected when reconstructing a stream from
+    /// untrusted bytes.
+    CorruptPacketStream {
+        /// The first violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -72,6 +88,13 @@ impl fmt::Display for SparseError {
             ),
             SparseError::DimensionTooLarge { detail } => {
                 write!(f, "matrix dimension too large: {detail}")
+            }
+            SparseError::TooManyNonZeros { nnz, capacity } => write!(
+                f,
+                "declared {nnz} non-zeros but the shape holds at most {capacity}"
+            ),
+            SparseError::CorruptPacketStream { detail } => {
+                write!(f, "corrupt BS-CSR packet stream: {detail}")
             }
         }
     }

@@ -163,8 +163,33 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, ReadMtxError> {
             detail: format!("size line needs `rows cols nnz`, got {} fields", dims.len()),
         });
     };
+    // A hostile header must produce a typed error, never wrap, panic, or
+    // force a huge allocation: the shape has to be u32-indexable (entries
+    // are 1-based u32 coordinates) and `nnz` cannot exceed the number of
+    // cells the shape holds (the product is overflow-checked).
+    if rows > u32::MAX as usize || cols > u32::MAX as usize {
+        return Err(SparseError::DimensionTooLarge {
+            detail: format!("shape {rows}x{cols} exceeds u32 coordinates"),
+        }
+        .into());
+    }
+    let cells = (rows as u64)
+        .checked_mul(cols as u64)
+        .ok_or(SparseError::DimensionTooLarge {
+            detail: format!("shape {rows}x{cols} has an uncountable number of cells"),
+        })?;
+    if nnz as u64 > cells {
+        return Err(SparseError::TooManyNonZeros {
+            nnz: nnz as u64,
+            capacity: cells,
+        }
+        .into());
+    }
 
-    let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(nnz);
+    // The capacity reservation is capped: the real size is enforced by
+    // the entry-count check below, and a lying header must not be able
+    // to abort the process through an oversized allocation.
+    let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(nnz.min(1 << 20));
     for (n, line) in lines {
         let line = line?;
         let t = line.trim();
@@ -172,12 +197,12 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, ReadMtxError> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let parse_coord = |tok: Option<&str>, what: &str| -> Result<u32, ReadMtxError> {
+        let parse_coord = |tok: Option<&str>, what: &str| -> Result<u64, ReadMtxError> {
             tok.ok_or_else(|| ReadMtxError::Parse {
                 line: n + 1,
                 detail: format!("missing {what}"),
             })?
-            .parse::<u32>()
+            .parse::<u64>()
             .map_err(|e| ReadMtxError::Parse {
                 line: n + 1,
                 detail: format!("bad {what}: {e}"),
@@ -190,6 +215,18 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, ReadMtxError> {
                 line: n + 1,
                 detail: "MatrixMarket indices are 1-based".to_string(),
             });
+        }
+        // Coordinates are parsed as u64 so an absurd index is a typed
+        // bounds error against the declared shape, not a lexer failure
+        // (and `- 1` below can never wrap).
+        if r > rows as u64 || c > cols as u64 {
+            return Err(SparseError::IndexOutOfBounds {
+                row: (r - 1) as usize,
+                col: (c - 1) as usize,
+                num_rows: rows,
+                num_cols: cols,
+            }
+            .into());
         }
         let v = if value_kind == "pattern" {
             1.0
@@ -205,7 +242,7 @@ pub fn read_mtx<R: Read>(reader: R) -> Result<Csr, ReadMtxError> {
                     detail: format!("bad value: {e}"),
                 })?
         };
-        triplets.push((r - 1, c - 1, v));
+        triplets.push(((r - 1) as u32, (c - 1) as u32, v));
     }
     if triplets.len() != nnz {
         return Err(ReadMtxError::Parse {
@@ -310,6 +347,41 @@ mod tests {
         .is_err());
         // Empty stream.
         assert!(read_mtx("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hostile_headers_fail_typed_without_wrapping_or_allocating() {
+        // Shape beyond u32 coordinates.
+        let huge_dim = format!(
+            "%%MatrixMarket matrix coordinate real general\n{} 2 1\n1 1 0.5\n",
+            u32::MAX as u64 + 1
+        );
+        assert!(matches!(
+            read_mtx(huge_dim.as_bytes()),
+            Err(ReadMtxError::Matrix(SparseError::DimensionTooLarge { .. }))
+        ));
+        // nnz that cannot fit the declared shape (and, were it trusted,
+        // would pre-allocate terabytes).
+        let lying_nnz =
+            "%%MatrixMarket matrix coordinate real general\n2 2 18446744073709551615\n1 1 0.5\n";
+        assert!(matches!(
+            read_mtx(lying_nnz.as_bytes()),
+            Err(ReadMtxError::Matrix(SparseError::TooManyNonZeros { .. }))
+        ));
+        let overfull = "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 0.5\n";
+        assert!(matches!(
+            read_mtx(overfull.as_bytes()),
+            Err(ReadMtxError::Matrix(SparseError::TooManyNonZeros { .. }))
+        ));
+        // An entry index far past u32 must be a typed bounds error, not a
+        // lexer failure or a wrapped coordinate.
+        let huge_index = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 5000000000 0.5\n";
+        match read_mtx(huge_index.as_bytes()) {
+            Err(ReadMtxError::Matrix(SparseError::IndexOutOfBounds { col, .. })) => {
+                assert_eq!(col, 4_999_999_999);
+            }
+            other => panic!("expected IndexOutOfBounds, got {other:?}"),
+        }
     }
 
     #[test]

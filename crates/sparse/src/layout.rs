@@ -109,6 +109,41 @@ impl PacketLayout {
         })
     }
 
+    /// Reconstructs a layout from its raw field widths (e.g. read back
+    /// from a persisted snapshot), revalidating every invariant the
+    /// solver guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::LayoutUnsatisfiable`] if the fields do not
+    /// describe a legal packet: `B = 0`, widths outside `1..=64`,
+    /// `ptr_bits != ceil(log2(B + 1))`, or fields overflowing 512 bits.
+    pub fn from_parts(
+        entries_per_packet: u32,
+        ptr_bits: u32,
+        idx_bits: u32,
+        value_bits: u32,
+    ) -> Result<Self, SparseError> {
+        let well_formed = entries_per_packet >= 1
+            && (1..=64).contains(&ptr_bits)
+            && (1..=64).contains(&idx_bits)
+            && (1..=64).contains(&value_bits)
+            && ptr_bits == bits_for(entries_per_packet as u64);
+        let layout = Self {
+            entries_per_packet,
+            ptr_bits,
+            idx_bits,
+            value_bits,
+        };
+        if !well_formed || layout.bits_used() as usize > PACKET_BITS {
+            return Err(SparseError::LayoutUnsatisfiable {
+                idx_bits,
+                value_bits,
+            });
+        }
+        Ok(layout)
+    }
+
     /// `B`: non-zero entries per 512-bit packet.
     pub fn entries_per_packet(self) -> u32 {
         self.entries_per_packet
@@ -223,6 +258,24 @@ mod tests {
         // the solver still returns a valid B >= 1.
         assert!(r.unwrap().entries_per_packet() >= 1);
         assert!(PacketLayout::solve(0, 20).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let solved = PacketLayout::solve(1024, 20).unwrap();
+        let rebuilt = PacketLayout::from_parts(
+            solved.entries_per_packet(),
+            solved.ptr_bits(),
+            solved.idx_bits(),
+            solved.value_bits(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, solved);
+        // Zero B, wrong ptr width, overflowing fields: all rejected.
+        assert!(PacketLayout::from_parts(0, 1, 10, 20).is_err());
+        assert!(PacketLayout::from_parts(15, 5, 10, 20).is_err());
+        assert!(PacketLayout::from_parts(15, 4, 64, 64).is_err());
+        assert!(PacketLayout::from_parts(15, 4, 10, 0).is_err());
     }
 
     #[test]

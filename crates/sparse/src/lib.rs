@@ -14,7 +14,11 @@
 //!   optimised COO 8, BS-CSR 15);
 //! - deterministic synthetic generators matching Table III: uniform and
 //!   left-skewed `Γ(3, 4/3)` non-zero distributions and a sparsified
-//!   GloVe-like embedding corpus (module [`gen`]).
+//!   GloVe-like embedding corpus (module [`gen`]);
+//! - persisted index snapshots (module [`snapshot`]): a versioned,
+//!   CRC-checked binary container for encoded collections, so the
+//!   one-time BS-CSR encode is paid once per collection instead of once
+//!   per process start.
 //!
 //! # Example: encode a matrix as BS-CSR and walk its packets
 //!
@@ -48,6 +52,7 @@ pub mod gen;
 pub mod io;
 mod layout;
 mod packet;
+pub mod snapshot;
 
 pub use bitio::{BitReader, BitWriter};
 pub use bscsr::{BsCsr, PacketEntries, PacketScratch, PacketView};

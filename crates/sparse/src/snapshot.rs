@@ -1,0 +1,1052 @@
+//! Persisted index snapshots: a versioned, checksummed binary container
+//! for encoded collections.
+//!
+//! The paper's premise is that the BS-CSR encode + HBM placement is a
+//! one-time cost amortised over many queries — but a cost paid from raw
+//! CSR on *every process start* is not amortised at all. A [`Snapshot`]
+//! captures a backend's prepared form on disk so a server restart (or a
+//! replica fleet) pays the encode once and `load`s thereafter:
+//!
+//! ```text
+//! offset  field
+//! 0       magic "TKSPSNAP" (8 bytes)
+//! 8       format version (u16 LE)
+//! 10      payload kind    (u8: 0 = CSR arrays, 1 = BS-CSR partitions)
+//! 11      precision tag   (u8: 0 = none, else Precision)
+//! 12      family length   (u16 LE) + family UTF-8 bytes
+//! ..      num_rows, num_cols, nnz (u64 LE each)
+//! ..      payload (see [`SnapshotPayload`])
+//! end-4   CRC-32 (IEEE) of every preceding byte (u32 LE)
+//! ```
+//!
+//! Everything is little-endian. Reading verifies the magic, version,
+//! tags, structural invariants of the payload (including a full
+//! [`BsCsr::validate`] pass per partition, exactly as a host validates
+//! data read back from device memory), and the CRC trailer; every
+//! failure mode is a distinct [`SnapshotError`] so callers can tell a
+//! truncated copy from a corrupted one from a version skew.
+//!
+//! # Example
+//!
+//! ```
+//! use tkspmv_sparse::snapshot::{Snapshot, SnapshotPayload};
+//! use tkspmv_sparse::Csr;
+//!
+//! let csr = Csr::from_triplets(2, 4, &[(0, 1, 0.5), (1, 3, 0.25)])?;
+//! let snap = Snapshot {
+//!     family: "cpu".to_string(),
+//!     num_rows: 2,
+//!     num_cols: 4,
+//!     nnz: 2,
+//!     payload: SnapshotPayload::Csr(csr),
+//! };
+//! let mut buf = Vec::new();
+//! snap.write_to(&mut buf)?;
+//! let back = Snapshot::read_from(buf.as_slice())?;
+//! assert_eq!(back.family, "cpu");
+//! assert_eq!(back.nnz, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::{Read, Write};
+
+use tkspmv_fixed::Precision;
+
+use crate::bscsr::BsCsr;
+use crate::csr::Csr;
+use crate::layout::PacketLayout;
+use crate::packet::Packet512;
+
+/// The 8-byte magic every snapshot stream starts with.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TKSPSNAP";
+
+/// The snapshot format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Initial element reservation cap for header-declared counts, so a
+/// hostile length field cannot force a huge up-front allocation — the
+/// vectors still grow to the real (CRC-verified) size, just amortised.
+const RESERVE_CAP: usize = 1 << 16;
+
+/// Why a snapshot could not be written, read, or accepted.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Underlying I/O failure (other than a short read, which is
+    /// reported as [`SnapshotError::Truncated`]).
+    Io(std::io::Error),
+    /// The stream does not start with [`SNAPSHOT_MAGIC`] — not a
+    /// snapshot at all.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version recorded in the stream.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The stream ended before the named section was complete.
+    Truncated {
+        /// Which section the short read happened in.
+        section: &'static str,
+    },
+    /// The CRC-32 trailer does not match the bytes read — the snapshot
+    /// is corrupt (bit rot, torn write, tampering).
+    ChecksumMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the stream.
+        computed: u32,
+    },
+    /// The precision tag is not one this build knows.
+    UnknownPrecision {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The payload-kind tag is not one this build knows.
+    UnknownPayloadKind {
+        /// The offending kind byte.
+        kind: u8,
+    },
+    /// The snapshot belongs to a different backend family than the one
+    /// trying to consume it.
+    FamilyMismatch {
+        /// Family recorded in the snapshot.
+        snapshot: String,
+        /// Family of the consuming backend.
+        backend: String,
+    },
+    /// The stream decoded but violates a structural invariant (lengths
+    /// that do not add up, an invalid packet stream, a header that
+    /// contradicts the payload).
+    Invalid {
+        /// Which invariant failed.
+        detail: String,
+    },
+    /// The snapshot itself is well-formed, but the backend refused to
+    /// restore it (wrong precision, infeasible design, wrong payload
+    /// shape for that engine).
+    Rejected {
+        /// The backend's explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a tkspmv snapshot (magic {found:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {supported})"
+            ),
+            SnapshotError::Truncated { section } => {
+                write!(f, "snapshot truncated in the {section} section")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: trailer says {stored:#010x}, stream hashes to {computed:#010x}"
+            ),
+            SnapshotError::UnknownPrecision { tag } => {
+                write!(f, "unknown precision tag {tag} in snapshot header")
+            }
+            SnapshotError::UnknownPayloadKind { kind } => {
+                write!(f, "unknown payload kind {kind} in snapshot header")
+            }
+            SnapshotError::FamilyMismatch { snapshot, backend } => write!(
+                f,
+                "snapshot belongs to backend family `{snapshot}`, not `{backend}`"
+            ),
+            SnapshotError::Invalid { detail } => {
+                write!(f, "structurally invalid snapshot: {detail}")
+            }
+            SnapshotError::Rejected { detail } => {
+                write!(f, "backend rejected the snapshot: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl SnapshotError {
+    fn invalid(detail: impl Into<String>) -> Self {
+        SnapshotError::Invalid {
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The backend-specific body of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SnapshotPayload {
+    /// Raw CSR arrays — the prepared form of the exact baselines, which
+    /// keep the source matrix and re-prepare from it for free.
+    Csr(Csr),
+    /// Encoded per-core BS-CSR packet streams — the accelerator's
+    /// prepared form, loadable without re-running the layout solve and
+    /// encode.
+    BsCsrPartitions {
+        /// Numeric precision the partitions were encoded with.
+        precision: Precision,
+        /// The packet layout shared by every partition.
+        layout: PacketLayout,
+        /// `(first_row, packets)` per core, in ascending row order.
+        partitions: Vec<(u64, BsCsr)>,
+    },
+}
+
+impl SnapshotPayload {
+    /// The payload-kind tag written to the header.
+    fn kind_tag(&self) -> u8 {
+        match self {
+            SnapshotPayload::Csr(_) => 0,
+            SnapshotPayload::BsCsrPartitions { .. } => 1,
+        }
+    }
+
+    /// The precision tag written to the header (0 = none).
+    fn precision_tag(&self) -> u8 {
+        match self {
+            SnapshotPayload::Csr(_) => 0,
+            SnapshotPayload::BsCsrPartitions { precision, .. } => precision_to_tag(*precision),
+        }
+    }
+
+    /// The encoding precision, if the payload carries one.
+    pub fn precision(&self) -> Option<Precision> {
+        match self {
+            SnapshotPayload::Csr(_) => None,
+            SnapshotPayload::BsCsrPartitions { precision, .. } => Some(*precision),
+        }
+    }
+}
+
+/// A persisted prepared collection: identity header plus payload.
+///
+/// Built by `PreparedMatrix::save` in the core crate and consumed by
+/// `PreparedMatrix::load`; the struct and codec live here so the format
+/// sits next to the formats it serialises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Compatibility family of the backend that prepared the collection
+    /// (e.g. `fpga-20b`, `cpu`, `gpu`).
+    pub family: String,
+    /// Rows (embeddings) in the collection.
+    pub num_rows: u64,
+    /// Columns (embedding dimension).
+    pub num_cols: u64,
+    /// Logical non-zeros.
+    pub nnz: u64,
+    /// The backend-specific body.
+    pub payload: SnapshotPayload,
+}
+
+impl Snapshot {
+    /// Serialises the snapshot, appending the CRC-32 trailer.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on write failure, [`SnapshotError::Invalid`]
+    /// if the in-memory snapshot violates format limits (e.g. a family
+    /// string longer than a `u16` length field).
+    pub fn write_to<W: Write>(&self, writer: W) -> Result<(), SnapshotError> {
+        let mut w = CrcWriter::new(writer);
+        w.write_all(&SNAPSHOT_MAGIC)?;
+        w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        w.write_all(&[self.payload.kind_tag(), self.payload.precision_tag()])?;
+        let family = self.family.as_bytes();
+        let family_len = u16::try_from(family.len())
+            .map_err(|_| SnapshotError::invalid("family name longer than 65535 bytes"))?;
+        w.write_all(&family_len.to_le_bytes())?;
+        w.write_all(family)?;
+        for v in [self.num_rows, self.num_cols, self.nnz] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        match &self.payload {
+            SnapshotPayload::Csr(csr) => write_csr(&mut w, csr)?,
+            SnapshotPayload::BsCsrPartitions {
+                layout, partitions, ..
+            } => write_partitions(&mut w, *layout, partitions)?,
+        }
+        let crc = w.crc();
+        w.into_inner().write_all(&crc.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Deserialises and fully verifies a snapshot: magic, version, tags,
+    /// payload structure (including per-partition [`BsCsr::validate`]),
+    /// header/payload consistency, and the CRC-32 trailer.
+    ///
+    /// # Errors
+    ///
+    /// The [`SnapshotError`] variant naming the first defect found.
+    pub fn read_from<R: Read>(reader: R) -> Result<Self, SnapshotError> {
+        let mut r = CrcReader::new(reader);
+        let mut magic = [0u8; 8];
+        read_exact(&mut r, &mut magic, "magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = read_u16(&mut r, "version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let kind = read_u8(&mut r, "payload kind")?;
+        let precision_tag = read_u8(&mut r, "precision tag")?;
+        let family_len = read_u16(&mut r, "family")? as usize;
+        let mut family = vec![0u8; family_len];
+        read_exact(&mut r, &mut family, "family")?;
+        let family = String::from_utf8(family)
+            .map_err(|_| SnapshotError::invalid("family name is not UTF-8"))?;
+        let num_rows = read_u64(&mut r, "header")?;
+        let num_cols = read_u64(&mut r, "header")?;
+        let nnz = read_u64(&mut r, "header")?;
+
+        let payload = match kind {
+            0 => {
+                if precision_tag != 0 {
+                    return Err(SnapshotError::invalid(
+                        "CSR payload must not carry a precision tag",
+                    ));
+                }
+                SnapshotPayload::Csr(read_csr(&mut r, num_rows, num_cols, nnz)?)
+            }
+            1 => {
+                let precision = tag_to_precision(precision_tag)?;
+                let (layout, partitions) = read_partitions(&mut r, precision)?;
+                SnapshotPayload::BsCsrPartitions {
+                    precision,
+                    layout,
+                    partitions,
+                }
+            }
+            other => return Err(SnapshotError::UnknownPayloadKind { kind: other }),
+        };
+
+        let computed = r.crc();
+        let mut trailer = [0u8; 4];
+        // The trailer is not covered by itself: read it unhashed.
+        match r.inner.read_exact(&mut trailer) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Err(SnapshotError::Truncated {
+                    section: "checksum trailer",
+                })
+            }
+            Err(e) => return Err(SnapshotError::Io(e)),
+        }
+        let stored = u32::from_le_bytes(trailer);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        let snapshot = Snapshot {
+            family,
+            num_rows,
+            num_cols,
+            nnz,
+            payload,
+        };
+        snapshot.check_header_payload_consistency()?;
+        Ok(snapshot)
+    }
+
+    /// Cross-checks the identity header against the decoded payload.
+    fn check_header_payload_consistency(&self) -> Result<(), SnapshotError> {
+        let (rows, cols, nnz) = match &self.payload {
+            SnapshotPayload::Csr(csr) => (
+                csr.num_rows() as u64,
+                csr.num_cols() as u64,
+                csr.nnz() as u64,
+            ),
+            SnapshotPayload::BsCsrPartitions { partitions, .. } => {
+                let mut next_row = 0u64;
+                let mut nnz = 0u64;
+                let mut cols = 0u64;
+                for (i, (first_row, part)) in partitions.iter().enumerate() {
+                    if *first_row != next_row {
+                        return Err(SnapshotError::invalid(format!(
+                            "partition {i} starts at row {first_row}, expected {next_row}"
+                        )));
+                    }
+                    if i == 0 {
+                        cols = part.num_cols() as u64;
+                    } else if part.num_cols() as u64 != cols {
+                        return Err(SnapshotError::invalid(format!(
+                            "partition {i} has {} columns, partition 0 has {cols}",
+                            part.num_cols()
+                        )));
+                    }
+                    next_row += part.num_rows() as u64;
+                    nnz += part.logical_nnz();
+                }
+                (next_row, cols, nnz)
+            }
+        };
+        if (rows, cols, nnz) != (self.num_rows, self.num_cols, self.nnz) {
+            return Err(SnapshotError::invalid(format!(
+                "header declares {}x{} with {} nnz, payload holds {rows}x{cols} with {nnz} nnz",
+                self.num_rows, self.num_cols, self.nnz
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn write_csr<W: Write>(w: &mut CrcWriter<W>, csr: &Csr) -> Result<(), SnapshotError> {
+    for &p in csr.row_ptr() {
+        w.write_all(&p.to_le_bytes())?;
+    }
+    for &c in csr.col_idx() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    for &v in csr.values() {
+        w.write_all(&v.to_bits().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_csr<R: Read>(
+    r: &mut CrcReader<R>,
+    num_rows: u64,
+    num_cols: u64,
+    nnz: u64,
+) -> Result<Csr, SnapshotError> {
+    let rows = usize::try_from(num_rows)
+        .ok()
+        .filter(|&n| n < usize::MAX)
+        .ok_or_else(|| SnapshotError::invalid("row count does not fit this platform"))?;
+    let cols = usize::try_from(num_cols)
+        .map_err(|_| SnapshotError::invalid("column count does not fit this platform"))?;
+    let entries = usize::try_from(nnz)
+        .map_err(|_| SnapshotError::invalid("nnz does not fit this platform"))?;
+    let row_ptr = read_u64_array(r, rows + 1, "CSR row pointers")?;
+    let col_idx = read_u32_array(r, entries, "CSR column indices")?;
+    let values = read_u32_array(r, entries, "CSR values")?
+        .into_iter()
+        .map(f32::from_bits)
+        .collect();
+    Csr::from_parts(rows, cols, row_ptr, col_idx, values)
+        .map_err(|e| SnapshotError::invalid(format!("CSR payload invalid: {e}")))
+}
+
+fn write_partitions<W: Write>(
+    w: &mut CrcWriter<W>,
+    layout: PacketLayout,
+    partitions: &[(u64, BsCsr)],
+) -> Result<(), SnapshotError> {
+    let count = u32::try_from(partitions.len())
+        .map_err(|_| SnapshotError::invalid("more than u32::MAX partitions"))?;
+    w.write_all(&count.to_le_bytes())?;
+    for field in [
+        layout.entries_per_packet(),
+        layout.ptr_bits(),
+        layout.idx_bits(),
+        layout.value_bits(),
+    ] {
+        w.write_all(&field.to_le_bytes())?;
+    }
+    for (first_row, part) in partitions {
+        if part.layout() != layout {
+            return Err(SnapshotError::invalid(
+                "partition layout differs from the snapshot layout",
+            ));
+        }
+        for v in [
+            *first_row,
+            part.num_rows() as u64,
+            part.num_cols() as u64,
+            part.stored_entries(),
+            part.logical_nnz(),
+            part.num_packets() as u64,
+        ] {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for packet in part.packets() {
+            for word in packet.words() {
+                w.write_all(&word.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_partitions<R: Read>(
+    r: &mut CrcReader<R>,
+    precision: Precision,
+) -> Result<(PacketLayout, Vec<(u64, BsCsr)>), SnapshotError> {
+    let count = read_u32(r, "partition count")? as usize;
+    let b = read_u32(r, "packet layout")?;
+    let ptr_bits = read_u32(r, "packet layout")?;
+    let idx_bits = read_u32(r, "packet layout")?;
+    let value_bits = read_u32(r, "packet layout")?;
+    let layout = PacketLayout::from_parts(b, ptr_bits, idx_bits, value_bits)
+        .map_err(|e| SnapshotError::invalid(format!("packet layout invalid: {e}")))?;
+    if layout.value_bits() != precision.value_bits() {
+        return Err(SnapshotError::invalid(format!(
+            "layout stores {}-bit values but precision {} needs {}",
+            layout.value_bits(),
+            precision.label(),
+            precision.value_bits()
+        )));
+    }
+    let mut partitions = Vec::with_capacity(count.min(RESERVE_CAP));
+    for i in 0..count {
+        let first_row = read_u64(r, "partition header")?;
+        let num_rows = usize::try_from(read_u64(r, "partition header")?)
+            .map_err(|_| SnapshotError::invalid("partition row count overflow"))?;
+        let num_cols = usize::try_from(read_u64(r, "partition header")?)
+            .map_err(|_| SnapshotError::invalid("partition column count overflow"))?;
+        let stored_entries = read_u64(r, "partition header")?;
+        let logical_nnz = read_u64(r, "partition header")?;
+        let num_packets = usize::try_from(read_u64(r, "partition header")?)
+            .map_err(|_| SnapshotError::invalid("partition packet count overflow"))?;
+        // Packets are read in bulk chunks (not word-by-word through the
+        // `Read` trait): the load path exists to beat re-encoding, and a
+        // 1M-nnz collection is ~70k packets. The chunk size also caps
+        // what a hostile count can make us allocate up front.
+        const PACKETS_PER_CHUNK: usize = 4_096;
+        let mut packets = Vec::with_capacity(num_packets.min(RESERVE_CAP));
+        let mut buf = vec![0u8; crate::PACKET_BYTES * num_packets.min(PACKETS_PER_CHUNK)];
+        let mut remaining = num_packets;
+        while remaining > 0 {
+            let take = remaining.min(PACKETS_PER_CHUNK);
+            let bytes = &mut buf[..crate::PACKET_BYTES * take];
+            read_exact(r, bytes, "packet stream")?;
+            for packet in bytes.chunks_exact(crate::PACKET_BYTES) {
+                let mut words = [0u64; 8];
+                for (word, raw) in words.iter_mut().zip(packet.chunks_exact(8)) {
+                    *word = u64::from_le_bytes(raw.try_into().expect("8-byte chunk"));
+                }
+                packets.push(Packet512::from_words(words));
+            }
+            remaining -= take;
+        }
+        let part = BsCsr::from_parts(
+            layout,
+            packets,
+            num_rows,
+            num_cols,
+            stored_entries,
+            logical_nnz,
+        )
+        .map_err(|e| SnapshotError::invalid(format!("partition {i} invalid: {e}")))?;
+        partitions.push((first_row, part));
+    }
+    Ok((layout, partitions))
+}
+
+fn precision_to_tag(p: Precision) -> u8 {
+    match p {
+        Precision::Fixed20 => 1,
+        Precision::Fixed25 => 2,
+        Precision::Fixed32 => 3,
+        Precision::Float32 => 4,
+        Precision::Half16 => 5,
+    }
+}
+
+fn tag_to_precision(tag: u8) -> Result<Precision, SnapshotError> {
+    match tag {
+        1 => Ok(Precision::Fixed20),
+        2 => Ok(Precision::Fixed25),
+        3 => Ok(Precision::Fixed32),
+        4 => Ok(Precision::Float32),
+        5 => Ok(Precision::Half16),
+        other => Err(SnapshotError::UnknownPrecision { tag: other }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), slicing-by-8.
+//
+// The checksum runs over every payload byte on both the save and the
+// load path, and the load path's whole purpose is to be much cheaper
+// than re-encoding — so the CRC is table-sliced to process eight bytes
+// per step instead of one.
+
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            j += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let t = &CRC32_TABLES;
+        let mut chunks = bytes.chunks_exact(8);
+        let mut state = self.state;
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            state = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            state = t[0][((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+        }
+        self.state = state;
+    }
+
+    fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 (IEEE) of a byte slice — public so fault-injection
+/// tests can re-seal a deliberately patched snapshot and prove the
+/// *semantic* checks fire, not just the checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+/// Writer wrapper that hashes every byte written through it.
+struct CrcWriter<W> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        self.inner.write_all(bytes)?;
+        self.crc.update(bytes);
+        Ok(())
+    }
+
+    fn crc(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Reader wrapper that hashes every byte read through it.
+struct CrcReader<R> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    fn crc(&self) -> u32 {
+        self.crc.finish()
+    }
+}
+
+/// Fills `buf` from the reader, hashing it and mapping a short read to
+/// [`SnapshotError::Truncated`] naming `section`.
+fn read_exact<R: Read>(
+    r: &mut CrcReader<R>,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), SnapshotError> {
+    match r.inner.read_exact(buf) {
+        Ok(()) => {
+            r.crc.update(buf);
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Err(SnapshotError::Truncated { section })
+        }
+        Err(e) => Err(SnapshotError::Io(e)),
+    }
+}
+
+fn read_u8<R: Read>(r: &mut CrcReader<R>, section: &'static str) -> Result<u8, SnapshotError> {
+    let mut b = [0u8; 1];
+    read_exact(r, &mut b, section)?;
+    Ok(b[0])
+}
+
+fn read_u16<R: Read>(r: &mut CrcReader<R>, section: &'static str) -> Result<u16, SnapshotError> {
+    let mut b = [0u8; 2];
+    read_exact(r, &mut b, section)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut CrcReader<R>, section: &'static str) -> Result<u32, SnapshotError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, section)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut CrcReader<R>, section: &'static str) -> Result<u64, SnapshotError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, section)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Elements per bulk-read chunk for array sections. Chunking both
+/// amortises the per-call `Read`/CRC overhead (the load path exists to
+/// beat re-preparation) and caps what a hostile count can make the
+/// reader allocate before the stream runs dry.
+const ELEMS_PER_CHUNK: usize = 65_536;
+
+fn read_u64_array<R: Read>(
+    r: &mut CrcReader<R>,
+    count: usize,
+    section: &'static str,
+) -> Result<Vec<u64>, SnapshotError> {
+    let mut out = Vec::with_capacity(count.min(RESERVE_CAP));
+    let mut buf = vec![0u8; 8 * count.min(ELEMS_PER_CHUNK)];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(ELEMS_PER_CHUNK);
+        let bytes = &mut buf[..8 * take];
+        read_exact(r, bytes, section)?;
+        out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_u32_array<R: Read>(
+    r: &mut CrcReader<R>,
+    count: usize,
+    section: &'static str,
+) -> Result<Vec<u32>, SnapshotError> {
+    let mut out = Vec::with_capacity(count.min(RESERVE_CAP));
+    let mut buf = vec![0u8; 4 * count.min(ELEMS_PER_CHUNK)];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(ELEMS_PER_CHUNK);
+        let bytes = &mut buf[..4 * take];
+        read_exact(r, bytes, section)?;
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{NnzDistribution, SyntheticConfig};
+    use tkspmv_fixed::Q1_19;
+
+    fn sample_csr() -> Csr {
+        SyntheticConfig {
+            num_rows: 120,
+            num_cols: 256,
+            avg_nnz_per_row: 9,
+            distribution: NnzDistribution::table3_gamma(),
+            seed: 41,
+        }
+        .generate()
+    }
+
+    fn csr_snapshot() -> Snapshot {
+        let csr = sample_csr();
+        Snapshot {
+            family: "cpu".to_string(),
+            num_rows: csr.num_rows() as u64,
+            num_cols: csr.num_cols() as u64,
+            nnz: csr.nnz() as u64,
+            payload: SnapshotPayload::Csr(csr),
+        }
+    }
+
+    fn bscsr_snapshot() -> Snapshot {
+        let csr = sample_csr();
+        let layout = PacketLayout::solve(csr.num_cols(), 20).unwrap();
+        let partitions: Vec<(u64, BsCsr)> = csr
+            .partition_rows(4)
+            .into_iter()
+            .map(|(first, part)| (first as u64, BsCsr::encode::<Q1_19>(&part, layout)))
+            .collect();
+        Snapshot {
+            family: "fpga-20b".to_string(),
+            num_rows: csr.num_rows() as u64,
+            num_cols: csr.num_cols() as u64,
+            nnz: csr.nnz() as u64,
+            payload: SnapshotPayload::BsCsrPartitions {
+                precision: Precision::Fixed20,
+                layout,
+                partitions,
+            },
+        }
+    }
+
+    fn to_bytes(s: &Snapshot) -> Vec<u8> {
+        let mut buf = Vec::new();
+        s.write_to(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn csr_snapshot_round_trips() {
+        let snap = csr_snapshot();
+        let back = Snapshot::read_from(to_bytes(&snap).as_slice()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bscsr_snapshot_round_trips() {
+        let snap = bscsr_snapshot();
+        let back = Snapshot::read_from(to_bytes(&snap).as_slice()).unwrap();
+        assert_eq!(back, snap);
+        let SnapshotPayload::BsCsrPartitions { partitions, .. } = &back.payload else {
+            panic!("payload kind changed in flight");
+        };
+        assert_eq!(partitions.len(), 4);
+        for (_, part) in partitions {
+            assert_eq!(part.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = to_bytes(&csr_snapshot());
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::read_from(bytes.as_slice()),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_typed() {
+        let mut bytes = to_bytes(&csr_snapshot());
+        bytes[8] = 0x7F; // version LE low byte
+        match Snapshot::read_from(bytes.as_slice()) {
+            Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 0x7F);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let bytes = to_bytes(&bscsr_snapshot());
+        // Chop at a spread of prefixes including boundary-interesting
+        // ones; every one must fail Truncated, never panic or mis-read.
+        for cut in [
+            0,
+            1,
+            7,
+            8,
+            9,
+            12,
+            20,
+            40,
+            bytes.len() / 2,
+            bytes.len() - 5,
+            bytes.len() - 1,
+        ] {
+            match Snapshot::read_from(&bytes[..cut]) {
+                Err(SnapshotError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_always_detected() {
+        // A flip that breaks payload structure fails the structural
+        // revalidation; one that decodes cleanly fails the CRC. Either
+        // way corruption is a typed error, never a silent mis-read.
+        for snap in [csr_snapshot(), bscsr_snapshot()] {
+            let clean = to_bytes(&snap);
+            for offset in [clean.len() / 3, clean.len() / 2, clean.len() - 8] {
+                let mut bytes = clean.clone();
+                bytes[offset] ^= 0x10;
+                match Snapshot::read_from(bytes.as_slice()) {
+                    Err(SnapshotError::ChecksumMismatch { .. })
+                    | Err(SnapshotError::Invalid { .. }) => {}
+                    other => panic!("flip at {offset}: expected detection, got {other:?}"),
+                }
+            }
+        }
+        // A flip inside the CSR value area decodes structurally clean, so
+        // the CRC trailer is the layer that must catch it.
+        let mut bytes = to_bytes(&csr_snapshot());
+        let in_values = bytes.len() - 6;
+        bytes[in_values] ^= 0x10;
+        assert!(matches!(
+            Snapshot::read_from(bytes.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_trailer_byte_fails_the_checksum() {
+        let mut bytes = to_bytes(&csr_snapshot());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Snapshot::read_from(bytes.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_precision_tag_is_typed() {
+        let mut bytes = to_bytes(&bscsr_snapshot());
+        bytes[11] = 99; // precision tag
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(matches!(
+            Snapshot::read_from(bytes.as_slice()),
+            Err(SnapshotError::UnknownPrecision { tag: 99 })
+        ));
+    }
+
+    #[test]
+    fn unknown_payload_kind_is_typed() {
+        let mut bytes = to_bytes(&csr_snapshot());
+        bytes[10] = 9; // payload kind
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(matches!(
+            Snapshot::read_from(bytes.as_slice()),
+            Err(SnapshotError::UnknownPayloadKind { kind: 9 })
+        ));
+    }
+
+    #[test]
+    fn header_payload_disagreement_is_invalid() {
+        // The partitions decode cleanly and the CRC matches (the lie was
+        // written and sealed), so the cross-check is the detecting layer.
+        let mut snap = bscsr_snapshot();
+        snap.nnz += 1;
+        let bytes = to_bytes(&snap);
+        assert!(matches!(
+            Snapshot::read_from(bytes.as_slice()),
+            Err(SnapshotError::Invalid { .. })
+        ));
+        // For a CSR payload the header drives parsing, so a row-count lie
+        // derails decoding instead — still a typed failure.
+        let mut snap = csr_snapshot();
+        snap.num_rows += 1;
+        let bytes = to_bytes(&snap);
+        match Snapshot::read_from(bytes.as_slice()) {
+            Err(SnapshotError::Invalid { .. })
+            | Err(SnapshotError::Truncated { .. })
+            | Err(SnapshotError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected a typed failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_failure() {
+        let e = SnapshotError::UnsupportedVersion {
+            found: 3,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 3"));
+        let e = SnapshotError::Truncated { section: "header" };
+        assert!(e.to_string().contains("header"));
+        let e = SnapshotError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = SnapshotError::FamilyMismatch {
+            snapshot: "cpu".into(),
+            backend: "fpga-20b".into(),
+        };
+        assert!(e.to_string().contains("cpu") && e.to_string().contains("fpga-20b"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Snapshot persistence properties, across every backend family:
+//!
+//! 1. **Round trip** — `PreparedMatrix::load` of a saved snapshot
+//!    answers queries element-wise identical to the fresh `prepare` it
+//!    was saved from. For the accelerator that means the *encoded*
+//!    BS-CSR partitions survive the disk trip bit-exactly (the load
+//!    skips the encode entirely); for the CSR-backed baselines the
+//!    source matrix does.
+//! 2. **Robustness** — a damaged snapshot (truncated, bit-flipped,
+//!    version-skewed, precision-skewed) fails with the *right* typed
+//!    [`SnapshotError`], never a panic, a wrap, or a silent mis-load.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tkspmv::backend::{PreparedMatrix, TopKBackend};
+use tkspmv::Accelerator;
+use tkspmv_baselines::cpu::CpuTopK;
+use tkspmv_baselines::gpu::{GpuModel, GpuPrecision, GpuTopK};
+use tkspmv_sparse::snapshot::{crc32, SnapshotError, SNAPSHOT_VERSION};
+use tkspmv_sparse::{Csr, DenseVector};
+
+/// Every backend family in the workspace.
+fn all_backends() -> Vec<Arc<dyn TopKBackend>> {
+    vec![
+        Arc::new(
+            Accelerator::builder()
+                .cores(4)
+                .k(8)
+                .build()
+                .expect("small design builds"),
+        ),
+        Arc::new(CpuTopK::new(2)),
+        Arc::new(GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32)),
+        Arc::new(GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F16).with_zero_cost_sort()),
+    ]
+}
+
+fn save_to_vec(backend: &dyn TopKBackend, prepared: &PreparedMatrix) -> Vec<u8> {
+    let mut buf = Vec::new();
+    prepared.save(backend, &mut buf).expect("snapshot saves");
+    buf
+}
+
+/// A deterministic accelerator snapshot for the corruption table tests.
+fn accelerator_snapshot_bytes() -> (Arc<dyn TopKBackend>, Vec<u8>) {
+    let backend: Arc<dyn TopKBackend> = Arc::new(
+        Accelerator::builder()
+            .cores(4)
+            .k(8)
+            .build()
+            .expect("small design builds"),
+    );
+    let csr = tkspmv_sparse::gen::SyntheticConfig {
+        num_rows: 200,
+        num_cols: 128,
+        avg_nnz_per_row: 10,
+        distribution: tkspmv_sparse::gen::NnzDistribution::Uniform,
+        seed: 7,
+    }
+    .generate();
+    let prepared = backend.prepare(&csr).expect("prepare");
+    let bytes = save_to_vec(backend.as_ref(), &prepared);
+    (backend, bytes)
+}
+
+/// Re-seals a patched snapshot so its CRC passes again — proving the
+/// *semantic* layer (not just the checksum) catches the defect.
+fn reseal(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let crc = crc32(&bytes[..body]).to_le_bytes();
+    bytes[body..].copy_from_slice(&crc);
+}
+
+#[test]
+fn truncated_snapshots_fail_typed_at_every_cut() {
+    let (backend, bytes) = accelerator_snapshot_bytes();
+    // A dense sweep near the front (header fields) plus spread cuts
+    // through the payload and the trailer.
+    let mut cuts: Vec<usize> = (0..64).collect();
+    cuts.extend([
+        bytes.len() / 4,
+        bytes.len() / 2,
+        bytes.len() - 5,
+        bytes.len() - 1,
+    ]);
+    for cut in cuts {
+        match PreparedMatrix::load(backend.as_ref(), &bytes[..cut]) {
+            Err(SnapshotError::Truncated { .. }) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn flipped_crc_byte_fails_the_checksum() {
+    let (backend, mut bytes) = accelerator_snapshot_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    match PreparedMatrix::load(backend.as_ref(), bytes.as_slice()) {
+        Err(SnapshotError::ChecksumMismatch { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_version_fails_typed() {
+    let (backend, mut bytes) = accelerator_snapshot_bytes();
+    bytes[8] = SNAPSHOT_VERSION as u8 + 1;
+    match PreparedMatrix::load(backend.as_ref(), bytes.as_slice()) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+            assert_eq!(supported, SNAPSHOT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_precision_tag_fails_typed() {
+    // An unknown tag byte is detected even with a valid CRC.
+    let (backend, mut bytes) = accelerator_snapshot_bytes();
+    bytes[11] = 99;
+    reseal(&mut bytes);
+    assert!(matches!(
+        PreparedMatrix::load(backend.as_ref(), bytes.as_slice()),
+        Err(SnapshotError::UnknownPrecision { tag: 99 })
+    ));
+    // A known-but-wrong tag contradicts the layout's value width.
+    let (backend, mut bytes) = accelerator_snapshot_bytes();
+    bytes[11] = 3; // Fixed32 in a 20-bit stream
+    reseal(&mut bytes);
+    assert!(matches!(
+        PreparedMatrix::load(backend.as_ref(), bytes.as_slice()),
+        Err(SnapshotError::Invalid { .. })
+    ));
+    // And a backend of another precision is refused by family before the
+    // payload is even adopted (the family string carries the precision).
+    let (_, bytes) = accelerator_snapshot_bytes();
+    let b32: Arc<dyn TopKBackend> = Arc::new(
+        Accelerator::builder()
+            .precision(tkspmv_fixed::Precision::Fixed32)
+            .cores(4)
+            .k(8)
+            .build()
+            .expect("32-bit design builds"),
+    );
+    assert!(matches!(
+        PreparedMatrix::load(b32.as_ref(), bytes.as_slice()),
+        Err(SnapshotError::FamilyMismatch { .. })
+    ));
+}
+
+#[test]
+fn not_a_snapshot_fails_typed() {
+    let (backend, _) = accelerator_snapshot_bytes();
+    assert!(matches!(
+        PreparedMatrix::load(backend.as_ref(), &b"%%MatrixMarket matrix"[..]),
+        Err(SnapshotError::BadMagic { .. })
+    ));
+}
+
+/// A random matrix, a few query vectors, and a coverable `k`.
+fn arb_case() -> impl Strategy<Value = (Csr, Vec<DenseVector>, usize)> {
+    (24usize..60, 8usize..48, 1usize..9).prop_flat_map(|(rows, cols, k)| {
+        let matrix = proptest::collection::btree_set((0..rows as u32, 0..cols as u32), 1..150)
+            .prop_map(move |coords| {
+                let triplets: Vec<(u32, u32, f32)> = coords
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, c))| (r, c, ((i * 13 % 89) + 1) as f32 / 100.0))
+                    .collect();
+                Csr::from_triplets(rows, cols, &triplets).expect("valid")
+            });
+        let queries = proptest::collection::vec(
+            proptest::collection::vec(0.0f32..1.0, cols..=cols).prop_map(DenseVector::from_values),
+            1..5,
+        );
+        (matrix, queries, Just(k))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn save_load_answers_equal_fresh_prepare_for_every_backend(
+        (csr, queries, k) in arb_case()
+    ) {
+        let k = k.min(csr.num_rows());
+        for backend in all_backends() {
+            let fresh = backend.prepare(&csr).expect("prepare");
+            let bytes = save_to_vec(backend.as_ref(), &fresh);
+            let loaded = PreparedMatrix::load(backend.as_ref(), bytes.as_slice())
+                .expect("snapshot loads");
+            prop_assert_eq!(loaded.family(), fresh.family());
+            prop_assert_eq!(loaded.num_rows(), fresh.num_rows());
+            prop_assert_eq!(loaded.num_cols(), fresh.num_cols());
+            prop_assert_eq!(loaded.nnz(), fresh.nnz());
+            for x in &queries {
+                let a = backend.query(&fresh, x, k).expect("fresh query");
+                let b = backend.query(&loaded, x, k).expect("loaded query");
+                prop_assert_eq!(
+                    &a.topk, &b.topk,
+                    "{}: loaded snapshot diverged from fresh prepare", backend.name()
+                );
+            }
+        }
+    }
+}
