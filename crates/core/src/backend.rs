@@ -28,7 +28,7 @@ use std::path::Path;
 
 use tkspmv_sparse::gen::query_vector;
 use tkspmv_sparse::snapshot::{Snapshot, SnapshotError, SnapshotPayload};
-use tkspmv_sparse::{Csr, DenseVector};
+use tkspmv_sparse::{Csr, DenseVector, PruneIndex};
 
 use crate::accelerator::{Accelerator, LoadedMatrix};
 use crate::engine::CoreStats;
@@ -102,6 +102,89 @@ pub trait TopKBackend: Send + Sync {
         k: usize,
     ) -> Result<Vec<QueryResult>, EngineError> {
         batch.iter().map(|x| self.query(matrix, x, k)).collect()
+    }
+
+    /// Answers a batch at an explicit precision tier.
+    ///
+    /// [`QueryTier::Exact`] is [`TopKBackend::query_batch`] by another
+    /// name and every backend supports it. [`QueryTier::Pruned`] asks for
+    /// the staged low-bit prune + exact rescore pipeline; only backends
+    /// that implement it (the `PrunedBackend` wrapper) accept the tier —
+    /// everything else fails typed rather than silently degrading to an
+    /// exact answer the caller did not pay for.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] for an unsupported tier; otherwise as
+    /// [`TopKBackend::query_batch`].
+    fn query_batch_tiered(
+        &self,
+        matrix: &PreparedMatrix,
+        batch: &QueryBatch,
+        k: usize,
+        tier: QueryTier,
+    ) -> Result<Vec<QueryResult>, EngineError> {
+        match tier {
+            QueryTier::Exact => self.query_batch(matrix, batch, k),
+            QueryTier::Pruned { .. } => Err(EngineError::bad_query(format!(
+                "backend `{}` does not implement the pruned query tier",
+                self.name()
+            ))),
+        }
+    }
+
+    /// Family string written into snapshots this backend saves
+    /// (defaults to [`family`]).
+    ///
+    /// Wrappers that add a query-time companion around an inner backend
+    /// (the `PrunedBackend`) override this to write the *inner* family,
+    /// so their snapshots remain loadable by the plain inner backend —
+    /// the companion section is an optional accelerant, not a new
+    /// on-disk dialect.
+    ///
+    /// [`family`]: TopKBackend::family
+    fn snapshot_family(&self) -> String {
+        self.family()
+    }
+
+    /// Whether this backend can adopt a snapshot written under `family`
+    /// (defaults to exact equality with [`family`]).
+    ///
+    /// [`family`]: TopKBackend::family
+    fn accepts_snapshot_family(&self, family: &str) -> bool {
+        family == self.family()
+    }
+
+    /// The optional low-bit companion section persisted next to the
+    /// payload (defaults to none).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BadQuery`] if `matrix` does not belong to this
+    /// backend.
+    fn snapshot_companion(
+        &self,
+        matrix: &PreparedMatrix,
+    ) -> Result<Option<PruneIndex>, EngineError> {
+        let _ = matrix;
+        Ok(None)
+    }
+
+    /// [`TopKBackend::restore_payload`], with the snapshot's optional
+    /// companion section offered alongside. The default drops the
+    /// companion — exact backends have no use for it; the
+    /// `PrunedBackend` adopts it to skip rebuilding the prune stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`TopKBackend::restore_payload`].
+    fn restore_payload_with_companion(
+        &self,
+        payload: SnapshotPayload,
+        companion: Option<PruneIndex>,
+    ) -> Result<PreparedMatrix, EngineError> {
+        let _ = companion;
+        self.restore_payload(payload)
     }
 
     /// Serialises a prepared matrix's private state into a snapshot
@@ -263,12 +346,18 @@ impl PreparedMatrix {
             .map_err(|e| SnapshotError::Rejected {
                 detail: e.to_string(),
             })?;
+        let companion = backend
+            .snapshot_companion(self)
+            .map_err(|e| SnapshotError::Rejected {
+                detail: e.to_string(),
+            })?;
         Snapshot {
-            family,
+            family: backend.snapshot_family(),
             num_rows: self.num_rows as u64,
             num_cols: self.num_cols as u64,
             nnz: self.nnz,
             payload,
+            companion,
         }
         .write_to(writer)
     }
@@ -314,16 +403,16 @@ impl PreparedMatrix {
             num_cols,
             nnz,
             payload,
+            companion,
         } = Snapshot::read_from(reader)?;
-        let family = backend.family();
-        if snapshot_family != family {
+        if !backend.accepts_snapshot_family(&snapshot_family) {
             return Err(SnapshotError::FamilyMismatch {
                 snapshot: snapshot_family,
-                backend: family,
+                backend: backend.family(),
             });
         }
         let prepared = backend
-            .restore_payload(payload)
+            .restore_payload_with_companion(payload, companion)
             .map_err(|e| SnapshotError::Rejected {
                 detail: e.to_string(),
             })?;
@@ -442,6 +531,41 @@ impl MatrixShard {
             .iter()
             .map(|&(row, score)| (row + base, score))
             .collect()
+    }
+}
+
+/// The precision tier a query is answered at.
+///
+/// Serving layers thread the tier from the request through batching to
+/// the backend; batches never mix tiers (the same discipline that keeps
+/// collection epochs from mixing), so every result in a batch carries
+/// the precision contract its caller asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryTier {
+    /// Full-precision answer from the backend's normal path.
+    Exact,
+    /// Staged two-phase answer: a low-bit prune pass shortlists
+    /// `shortlist_factor · k` candidate rows, which are then rescored
+    /// exactly. Larger factors trade speed for recall.
+    Pruned {
+        /// Shortlist size as a multiple of `k` (the paper-style `c`).
+        shortlist_factor: usize,
+    },
+}
+
+impl QueryTier {
+    /// Compact label for metrics and tables: `exact` or `pruned-c{c}`.
+    pub fn label(self) -> String {
+        match self {
+            QueryTier::Exact => "exact".to_string(),
+            QueryTier::Pruned { shortlist_factor } => format!("pruned-c{shortlist_factor}"),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
@@ -595,6 +719,17 @@ pub enum BackendStats {
         sort_seconds: f64,
         /// Whether the backend bills the idealised zero-cost sort.
         zero_cost_sort: bool,
+    },
+    /// The staged prune + rescore pipeline.
+    Pruned {
+        /// Bit width of the companion prune stream.
+        bits: u32,
+        /// Rows shortlisted for exact rescoring.
+        shortlist: usize,
+        /// Whether the low-bit pass actually ran; `false` means the
+        /// query fell through to the exact path (no companion index, or
+        /// the shortlist would have covered every row anyway).
+        pruned: bool,
     },
 }
 

@@ -76,14 +76,15 @@ pub mod engine;
 mod error;
 mod math;
 mod perf;
+mod pruned;
 mod topk;
 
 pub use accelerator::{
     Accelerator, AcceleratorBuilder, AcceleratorConfig, LoadedMatrix, QueryOutput,
 };
 pub use backend::{
-    BackendPerf, BackendStats, MatrixShard, PreparedMatrix, QueryBatch, QueryResult, TimingSource,
-    TopKBackend,
+    BackendPerf, BackendStats, MatrixShard, PreparedMatrix, QueryBatch, QueryResult, QueryTier,
+    TimingSource, TopKBackend,
 };
 pub use engine::{
     quantize_vector, run_core, run_core_with_scratch, run_multicore, run_multicore_batch,
@@ -92,4 +93,5 @@ pub use engine::{
 pub use error::EngineError;
 pub use math::{hypergeometric_pmf, ln_choose, ln_gamma};
 pub use perf::{PerfReport, HOST_OVERHEAD_SECONDS};
+pub use pruned::PrunedBackend;
 pub use topk::{TopKResult, TopKTracker};

@@ -1,0 +1,613 @@
+//! Staged two-phase queries: a low-bit prune pass plus exact rescoring.
+//!
+//! The paper's accelerator wins by touching fewer bytes per non-zero;
+//! [`PrunedBackend`] applies the same lever one level up, as a query
+//! pipeline around *any* exact engine:
+//!
+//! 1. **Prune** — score every row against the query using the compact
+//!    4/8-bit companion [`PruneIndex`] built at `prepare` time. Integer
+//!    accumulation over a 2.5–3 byte/nnz stream is both cheaper per
+//!    element and friendlier to the memory hierarchy than the exact
+//!    8 byte/nnz CSR walk.
+//! 2. **Shortlist** — keep the `c·k` best rows under the engine-wide
+//!    total order (score descending, then row id ascending). The cut is
+//!    on deterministic integer scores, so the shortlist is reproducible
+//!    bit-for-bit across runs and hosts.
+//! 3. **Rescore** — gather only the shortlisted rows into a small CSR
+//!    and answer through the wrapped backend at full precision, then
+//!    map row ids back to collection coordinates.
+//!
+//! When the shortlist would cover the whole collection (`c·k ≥ rows`),
+//! or no companion index is available (degenerate shapes, pre-companion
+//! snapshots), the wrapper falls through to the exact path — so the
+//! pruned tier never does *worse* than the engine it wraps, and with
+//! `c·k ≥ rows` its answers are element-wise identical to it
+//! (property-tested in `tests/prune_correctness.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use tkspmv_fixed::PruneBits;
+use tkspmv_sparse::snapshot::SnapshotPayload;
+use tkspmv_sparse::{Csr, DenseVector, PruneIndex};
+
+use crate::backend::{
+    BackendPerf, BackendStats, PreparedMatrix, QueryBatch, QueryResult, QueryTier, TopKBackend,
+};
+use crate::error::EngineError;
+use crate::topk::TopKResult;
+
+/// A [`TopKBackend`] that answers queries in two phases — low-bit prune,
+/// then exact rescore through the backend it wraps.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tkspmv::backend::TopKBackend;
+/// use tkspmv::{Accelerator, PrunedBackend};
+/// use tkspmv_fixed::PruneBits;
+/// use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+///
+/// let exact: Arc<dyn TopKBackend> =
+///     Arc::new(Accelerator::builder().cores(4).k(8).build()?);
+/// let pruned = PrunedBackend::new(exact, PruneBits::Eight, 4)?;
+/// let csr = SyntheticConfig {
+///     num_rows: 500,
+///     num_cols: 64,
+///     avg_nnz_per_row: 8,
+///     distribution: NnzDistribution::Uniform,
+///     seed: 5,
+/// }
+/// .generate();
+/// let matrix = pruned.prepare(&csr)?;
+/// let out = pruned.query(&matrix, &query_vector(64, 1), 10)?;
+/// assert_eq!(out.topk.len(), 10);
+/// # Ok::<(), tkspmv::EngineError>(())
+/// ```
+pub struct PrunedBackend {
+    inner: Arc<dyn TopKBackend>,
+    bits: PruneBits,
+    shortlist_factor: usize,
+    threads: usize,
+}
+
+/// Prepared state: the source collection (for gathering), the wrapped
+/// backend's own prepared form (for exact fall-through and rescoring
+/// context), and the optional companion prune stream.
+struct PrunedState {
+    csr: Csr,
+    inner_prepared: PreparedMatrix,
+    prune: Option<PruneIndex>,
+}
+
+impl PrunedBackend {
+    /// Wraps `inner` with a staged prune + rescore pipeline.
+    ///
+    /// `shortlist_factor` is the paper-style `c`: the prune pass keeps
+    /// `c·k` candidate rows for exact rescoring.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] if `shortlist_factor` is zero.
+    pub fn new(
+        inner: Arc<dyn TopKBackend>,
+        bits: PruneBits,
+        shortlist_factor: usize,
+    ) -> Result<Self, EngineError> {
+        if shortlist_factor == 0 {
+            return Err(EngineError::invalid_config(
+                "shortlist factor must be at least 1",
+            ));
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Ok(Self {
+            inner,
+            bits,
+            shortlist_factor,
+            threads,
+        })
+    }
+
+    /// Sets the worker-thread count for the prune scoring pass.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Result<Self, EngineError> {
+        if threads == 0 {
+            return Err(EngineError::invalid_config(
+                "prune pass needs at least one thread",
+            ));
+        }
+        self.threads = threads;
+        Ok(self)
+    }
+
+    /// The prune stream's bit width.
+    pub fn bits(&self) -> PruneBits {
+        self.bits
+    }
+
+    /// The default shortlist factor `c` used by [`TopKBackend::query`].
+    pub fn shortlist_factor(&self) -> usize {
+        self.shortlist_factor
+    }
+
+    /// The exact backend answers are rescored through.
+    pub fn inner(&self) -> &Arc<dyn TopKBackend> {
+        &self.inner
+    }
+
+    fn state<'m>(&self, matrix: &'m PreparedMatrix) -> Result<&'m PrunedState, EngineError> {
+        matrix.downcast(&self.family())
+    }
+
+    /// Scores every row with the low-bit index, in parallel row ranges.
+    fn prune_scores(&self, prune: &PruneIndex, q: &[u16]) -> Vec<u64> {
+        let rows = prune.num_rows();
+        let mut scores = vec![0u64; rows];
+        let threads = self.threads.clamp(1, rows.max(1));
+        if threads <= 1 {
+            prune.score_rows(0, q, &mut scores);
+        } else {
+            let chunk = rows.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (i, out) in scores.chunks_mut(chunk).enumerate() {
+                    s.spawn(move || prune.score_rows(i * chunk, q, out));
+                }
+            });
+        }
+        scores
+    }
+
+    /// The staged query at an explicit shortlist factor.
+    fn staged_query(
+        &self,
+        st: &PrunedState,
+        x: &DenseVector,
+        k: usize,
+        factor: usize,
+    ) -> Result<QueryResult, EngineError> {
+        if k == 0 {
+            return Err(EngineError::zero_big_k());
+        }
+        if x.len() != st.csr.num_cols() {
+            return Err(EngineError::vector_length_mismatch(
+                x.len(),
+                st.csr.num_cols(),
+            ));
+        }
+        if factor == 0 {
+            return Err(EngineError::invalid_config(
+                "shortlist factor must be at least 1",
+            ));
+        }
+        let rows = st.csr.num_rows();
+        let shortlist = factor.saturating_mul(k);
+        let Some(prune) = st.prune.as_ref().filter(|_| shortlist < rows) else {
+            // Exact fall-through: no companion index, or the shortlist
+            // would cover every row anyway.
+            let mut out = self.inner.query(&st.inner_prepared, x, k)?;
+            out.stats = BackendStats::Pruned {
+                bits: self.bits.bits(),
+                shortlist: rows,
+                pruned: false,
+            };
+            return Ok(out);
+        };
+
+        let started = Instant::now();
+        let q = prune.quantize_query(x.as_slice());
+        let scores = self.prune_scores(prune, &q);
+
+        // Cut the shortlist under the engine-wide total order (score
+        // descending, row ascending) on the deterministic integer
+        // scores, then restore ascending row order so the gathered
+        // sub-matrix preserves global tie-breaks. A bounded min-heap of
+        // the best `shortlist` keys beats materialising and
+        // partition-selecting a full row permutation: after warm-up the
+        // per-row test "beats the current worst?" almost never passes,
+        // so the common path is one compare.
+        let mut heap: BinaryHeap<Reverse<(u64, Reverse<u32>)>> =
+            BinaryHeap::with_capacity(shortlist);
+        for (row, &s) in scores.iter().enumerate() {
+            let key = (s, Reverse(row as u32));
+            if heap.len() < shortlist {
+                heap.push(Reverse(key));
+            } else if key > heap.peek().expect("heap is non-empty").0 {
+                *heap.peek_mut().expect("heap is non-empty") = Reverse(key);
+            }
+        }
+        let mut order: Vec<u32> = heap.into_iter().map(|Reverse((_, Reverse(r)))| r).collect();
+        order.sort_unstable();
+
+        // Gather the shortlisted rows into a compact CSR.
+        let src_ptr = st.csr.row_ptr();
+        let mut row_ptr = Vec::with_capacity(shortlist + 1);
+        row_ptr.push(0u64);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for &r in &order {
+            let (s, e) = (
+                src_ptr[r as usize] as usize,
+                src_ptr[r as usize + 1] as usize,
+            );
+            col_idx.extend_from_slice(&st.csr.col_idx()[s..e]);
+            values.extend_from_slice(&st.csr.values()[s..e]);
+            row_ptr.push(col_idx.len() as u64);
+        }
+        let sub = Csr::from_parts(shortlist, st.csr.num_cols(), row_ptr, col_idx, values)
+            .map_err(|e| EngineError::bad_query(format!("shortlist gather failed: {e}")))?;
+        let prune_seconds = started.elapsed().as_secs_f64();
+
+        // Rescore exactly through the wrapped backend and re-base the
+        // shortlist-local row ids into collection coordinates. Ascending
+        // gather order makes local row order agree with global row
+        // order, so ties break identically.
+        let sub_prepared = self.inner.prepare(&sub)?;
+        let out = self.inner.query(&sub_prepared, x, k)?;
+        let pairs: Vec<(u32, f64)> = out
+            .topk
+            .entries()
+            .iter()
+            .map(|&(local, score)| (order[local as usize], score))
+            .collect();
+        Ok(QueryResult {
+            topk: TopKResult::from_pairs(pairs),
+            perf: BackendPerf {
+                seconds: prune_seconds + out.perf.seconds,
+                kernel_seconds: prune_seconds + out.perf.kernel_seconds,
+                nnz: prune.nnz() + out.perf.nnz,
+                timing: out.perf.timing,
+            },
+            stats: BackendStats::Pruned {
+                bits: self.bits.bits(),
+                shortlist,
+                pruned: true,
+            },
+        })
+    }
+}
+
+impl TopKBackend for PrunedBackend {
+    fn name(&self) -> String {
+        format!("pruned-{}+{}", self.bits.label(), self.inner.name())
+    }
+
+    fn family(&self) -> String {
+        format!("pruned+{}", self.inner.family())
+    }
+
+    fn prepare(&self, csr: &Csr) -> Result<PreparedMatrix, EngineError> {
+        let inner_prepared = self.inner.prepare(csr)?;
+        // Collections outside the companion's addressing range (columns
+        // beyond u16, nnz beyond u32) degrade gracefully to the exact
+        // path; `BackendStats::Pruned { pruned: false }` makes the
+        // fall-through observable.
+        let prune = PruneIndex::build(csr, self.bits).ok();
+        Ok(PreparedMatrix::new(
+            self.family(),
+            csr.num_rows(),
+            csr.num_cols(),
+            csr.nnz() as u64,
+            PrunedState {
+                csr: csr.clone(),
+                inner_prepared,
+                prune,
+            },
+        ))
+    }
+
+    fn query(
+        &self,
+        matrix: &PreparedMatrix,
+        x: &DenseVector,
+        k: usize,
+    ) -> Result<QueryResult, EngineError> {
+        let st = self.state(matrix)?;
+        self.staged_query(st, x, k, self.shortlist_factor)
+    }
+
+    fn query_batch_tiered(
+        &self,
+        matrix: &PreparedMatrix,
+        batch: &QueryBatch,
+        k: usize,
+        tier: QueryTier,
+    ) -> Result<Vec<QueryResult>, EngineError> {
+        let st = self.state(matrix)?;
+        match tier {
+            QueryTier::Exact => self.inner.query_batch(&st.inner_prepared, batch, k),
+            QueryTier::Pruned { shortlist_factor } => batch
+                .iter()
+                .map(|x| self.staged_query(st, x, k, shortlist_factor))
+                .collect(),
+        }
+    }
+
+    fn snapshot_family(&self) -> String {
+        self.inner.snapshot_family()
+    }
+
+    fn accepts_snapshot_family(&self, family: &str) -> bool {
+        family == self.family() || self.inner.accepts_snapshot_family(family)
+    }
+
+    fn snapshot_payload(&self, matrix: &PreparedMatrix) -> Result<SnapshotPayload, EngineError> {
+        let st = self.state(matrix)?;
+        self.inner.snapshot_payload(&st.inner_prepared)
+    }
+
+    fn snapshot_companion(
+        &self,
+        matrix: &PreparedMatrix,
+    ) -> Result<Option<PruneIndex>, EngineError> {
+        Ok(self.state(matrix)?.prune.clone())
+    }
+
+    fn restore_payload(&self, payload: SnapshotPayload) -> Result<PreparedMatrix, EngineError> {
+        self.restore_payload_with_companion(payload, None)
+    }
+
+    /// Adopts a persisted collection plus its optional companion prune
+    /// stream. A pre-companion (format v1) snapshot restores with the
+    /// staged path unavailable — queries fall through to the exact
+    /// backend rather than failing.
+    fn restore_payload_with_companion(
+        &self,
+        payload: SnapshotPayload,
+        companion: Option<PruneIndex>,
+    ) -> Result<PreparedMatrix, EngineError> {
+        let SnapshotPayload::Csr(csr) = payload else {
+            return Err(EngineError::bad_query(format!(
+                "backend `{}` restores CSR snapshots (its rescore path gathers source rows), \
+                 not encoded payload kinds",
+                self.name()
+            )));
+        };
+        let inner_prepared = self.inner.prepare(&csr)?;
+        Ok(PreparedMatrix::new(
+            self.family(),
+            csr.num_rows(),
+            csr.num_cols(),
+            csr.nnz() as u64,
+            PrunedState {
+                csr,
+                inner_prepared,
+                prune: companion,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+
+    fn collection() -> Csr {
+        SyntheticConfig {
+            num_rows: 600,
+            num_cols: 128,
+            avg_nnz_per_row: 12,
+            distribution: NnzDistribution::table3_gamma(),
+            seed: 17,
+        }
+        .generate()
+    }
+
+    fn accel() -> Arc<dyn TopKBackend> {
+        Arc::new(Accelerator::builder().cores(4).k(8).build().unwrap())
+    }
+
+    #[test]
+    fn names_and_families_compose() {
+        let b = PrunedBackend::new(accel(), PruneBits::Four, 4).unwrap();
+        assert_eq!(b.name(), "pruned-4b+fpga-20b");
+        assert_eq!(b.family(), "pruned+fpga-20b");
+        assert_eq!(b.snapshot_family(), "fpga-20b");
+        assert!(b.accepts_snapshot_family("pruned+fpga-20b"));
+        assert!(b.accepts_snapshot_family("fpga-20b"));
+        assert!(!b.accepts_snapshot_family("cpu"));
+        assert_eq!(b.bits(), PruneBits::Four);
+        assert_eq!(b.shortlist_factor(), 4);
+        assert_eq!(b.inner().name(), "fpga-20b");
+    }
+
+    #[test]
+    fn zero_shortlist_factor_is_rejected() {
+        assert!(matches!(
+            PrunedBackend::new(accel(), PruneBits::Eight, 0),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+        let b = PrunedBackend::new(accel(), PruneBits::Eight, 2).unwrap();
+        assert!(b.with_threads(0).is_err());
+    }
+
+    #[test]
+    fn staged_query_returns_k_rows_with_pruned_stats() {
+        let b = PrunedBackend::new(accel(), PruneBits::Eight, 4)
+            .unwrap()
+            .with_threads(2)
+            .unwrap();
+        let m = b.prepare(&collection()).unwrap();
+        let out = b.query(&m, &query_vector(128, 3), 10).unwrap();
+        assert_eq!(out.topk.len(), 10);
+        match out.stats {
+            BackendStats::Pruned {
+                bits,
+                shortlist,
+                pruned,
+            } => {
+                assert_eq!(bits, 8);
+                assert_eq!(shortlist, 40);
+                assert!(pruned);
+            }
+            other => panic!("expected Pruned stats, got {other:?}"),
+        }
+        assert!(out.perf.seconds > 0.0);
+        assert!(out.perf.nnz > 0);
+    }
+
+    #[test]
+    fn covering_shortlist_falls_through_to_exact() {
+        let b = PrunedBackend::new(accel(), PruneBits::Eight, 1000).unwrap();
+        let m = b.prepare(&collection()).unwrap();
+        let x = query_vector(128, 5);
+        let out = b.query(&m, &x, 10).unwrap();
+        assert!(matches!(
+            out.stats,
+            BackendStats::Pruned { pruned: false, .. }
+        ));
+        // Identical to the wrapped backend's own answer.
+        let inner = accel();
+        let im = inner.prepare(&collection()).unwrap();
+        assert_eq!(out.topk, inner.query(&im, &x, 10).unwrap().topk);
+    }
+
+    #[test]
+    fn degenerate_queries_fail_typed() {
+        let b = PrunedBackend::new(accel(), PruneBits::Four, 2).unwrap();
+        let m = b.prepare(&collection()).unwrap();
+        assert!(matches!(
+            b.query(&m, &query_vector(128, 1), 0),
+            Err(EngineError::BadQuery { .. })
+        ));
+        assert!(matches!(
+            b.query(&m, &query_vector(64, 1), 5),
+            Err(EngineError::BadQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn tiered_batches_match_their_direct_counterparts() {
+        let b = PrunedBackend::new(accel(), PruneBits::Eight, 4).unwrap();
+        let m = b.prepare(&collection()).unwrap();
+        let batch = QueryBatch::random(4, 128, 21);
+
+        let exact = b
+            .query_batch_tiered(&m, &batch, 12, QueryTier::Exact)
+            .unwrap();
+        let inner = accel();
+        let im = inner.prepare(&collection()).unwrap();
+        for (x, got) in batch.iter().zip(&exact) {
+            assert_eq!(got.topk, inner.query(&im, x, 12).unwrap().topk);
+        }
+
+        let pruned = b
+            .query_batch_tiered(
+                &m,
+                &batch,
+                12,
+                QueryTier::Pruned {
+                    shortlist_factor: 4,
+                },
+            )
+            .unwrap();
+        for (x, got) in batch.iter().zip(&pruned) {
+            assert_eq!(got.topk, b.query(&m, x, 12).unwrap().topk);
+        }
+    }
+
+    #[test]
+    fn plain_backends_reject_the_pruned_tier() {
+        let inner = accel();
+        let m = inner.prepare(&collection()).unwrap();
+        let batch = QueryBatch::random(2, 128, 9);
+        let err = inner
+            .query_batch_tiered(
+                &m,
+                &batch,
+                5,
+                QueryTier::Pruned {
+                    shortlist_factor: 2,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("pruned"), "{err}");
+    }
+
+    /// A minimal exact backend whose prepared state is the CSR itself,
+    /// exercising the default (CSR-payload) snapshot path the CPU/GPU
+    /// baselines use — they live downstream of this crate.
+    struct RefBackend;
+
+    impl TopKBackend for RefBackend {
+        fn name(&self) -> String {
+            "ref-exact".to_string()
+        }
+
+        fn prepare(&self, csr: &Csr) -> Result<PreparedMatrix, EngineError> {
+            if csr.num_rows() == 0 {
+                return Err(EngineError::empty_matrix());
+            }
+            Ok(PreparedMatrix::new(
+                self.family(),
+                csr.num_rows(),
+                csr.num_cols(),
+                csr.nnz() as u64,
+                csr.clone(),
+            ))
+        }
+
+        fn query(
+            &self,
+            matrix: &PreparedMatrix,
+            x: &DenseVector,
+            k: usize,
+        ) -> Result<QueryResult, EngineError> {
+            if k == 0 {
+                return Err(EngineError::zero_big_k());
+            }
+            let csr: &Csr = matrix.downcast(&self.family())?;
+            if x.len() != csr.num_cols() {
+                return Err(EngineError::vector_length_mismatch(x.len(), csr.num_cols()));
+            }
+            let y = csr.spmv_exact(x.as_slice());
+            let topk = TopKResult::merge_pairs(
+                y.iter().enumerate().map(|(r, &s)| (r as u32, s)),
+                k.min(csr.num_rows()),
+            );
+            Ok(QueryResult {
+                topk,
+                perf: BackendPerf::measured(1e-9, csr.nnz() as u64),
+                stats: BackendStats::Cpu { threads: 1 },
+            })
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_keeps_the_companion() {
+        let b = PrunedBackend::new(Arc::new(RefBackend), PruneBits::Eight, 4).unwrap();
+        let m = b.prepare(&collection()).unwrap();
+        let mut buf = Vec::new();
+        m.save(&b, &mut buf).unwrap();
+        let loaded = PreparedMatrix::load(&b, buf.as_slice()).unwrap();
+        let x = query_vector(128, 11);
+        let fresh = b.query(&m, &x, 10).unwrap();
+        let restored = b.query(&loaded, &x, 10).unwrap();
+        assert_eq!(fresh.topk, restored.topk);
+        assert!(matches!(
+            restored.stats,
+            BackendStats::Pruned { pruned: true, .. }
+        ));
+    }
+
+    #[test]
+    fn tier_labels_read_well() {
+        assert_eq!(QueryTier::Exact.label(), "exact");
+        assert_eq!(
+            QueryTier::Pruned {
+                shortlist_factor: 4
+            }
+            .to_string(),
+            "pruned-c4"
+        );
+    }
+}

@@ -40,11 +40,19 @@ mod scalar;
 mod ufixed;
 
 pub use half::Half;
-pub use precision::{ParsePrecisionError, Precision};
+pub use precision::{ParsePrecisionError, Precision, PruneBits};
 pub use quant::{quantization_error, QuantizationReport};
 pub use scalar::{SpmvScalar, F32};
 pub use ufixed::{QFormat, UFixed};
 
+/// Unsigned `Q1.3` fixed point (4 bits total), the candidate-generation
+/// width of the staged prune + rescore pipeline. Like every [`UFixed`]
+/// width: round-to-nearest, saturating to `[0, 2 - 2^-3]`, NaN and
+/// negative inputs mapping to zero.
+pub type Q1_3 = UFixed<4>;
+/// Unsigned `Q1.7` fixed point (8 bits total), the finer prune width.
+/// Same rounding/saturation semantics as [`Q1_3`].
+pub type Q1_7 = UFixed<8>;
 /// Unsigned `Q1.19` fixed point (20 bits total), the most compact format
 /// evaluated by the paper.
 pub type Q1_19 = UFixed<20>;

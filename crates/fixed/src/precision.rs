@@ -89,6 +89,93 @@ impl fmt::Display for Precision {
     }
 }
 
+/// Width of the low-bit candidate-generation pass in a staged
+/// (prune + exact-rescore) query pipeline.
+///
+/// The prune pass quantises matrix values to unsigned `Q1.(bits-1)`
+/// fixed point — [`crate::Q1_3`] at four bits, [`crate::Q1_7`] at eight —
+/// with the same semantics as every other [`crate::UFixed`] width:
+/// round-to-nearest, saturation to `[0, 2 - ulp]`, and NaN/negative
+/// inputs mapping to zero. Four bits halve the prune stream again at the
+/// cost of a coarser candidate ordering (more shortlist head-room needed
+/// for the same recall).
+///
+/// # Example
+///
+/// ```
+/// use tkspmv_fixed::PruneBits;
+///
+/// let b: PruneBits = "4b".parse()?;
+/// assert_eq!(b, PruneBits::Four);
+/// assert_eq!(b.bits(), 4);
+/// assert_eq!(PruneBits::Eight.quantize_raw(0.5), 64); // Q1.7: 0.5 * 2^7
+/// # Ok::<(), tkspmv_fixed::ParsePrecisionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PruneBits {
+    /// Unsigned `Q1.3` fixed point, 4 bits per value (two per byte).
+    Four,
+    /// Unsigned `Q1.7` fixed point, 8 bits per value.
+    Eight,
+}
+
+impl PruneBits {
+    /// Both prune widths, coarsest first.
+    pub const ALL: [PruneBits; 2] = [PruneBits::Four, PruneBits::Eight];
+
+    /// Total bits per quantised value (1 integer + `bits - 1` fractional).
+    pub fn bits(self) -> u32 {
+        match self {
+            PruneBits::Four => 4,
+            PruneBits::Eight => 8,
+        }
+    }
+
+    /// The `Q1.f` format descriptor for this width.
+    pub fn q_format(self) -> QFormat {
+        QFormat::new(self.bits())
+    }
+
+    /// Short label (`"4b"` / `"8b"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PruneBits::Four => "4b",
+            PruneBits::Eight => "8b",
+        }
+    }
+
+    /// Quantises a matrix value to this width's raw representation:
+    /// round-to-nearest, saturating to the format's `[0, 2 - ulp]`
+    /// range, NaN and negative inputs mapping to zero. The result always
+    /// fits the width (`<= 15` at four bits, `<= 255` at eight).
+    pub fn quantize_raw(self, v: f32) -> u8 {
+        match self {
+            PruneBits::Four => crate::Q1_3::from_f64(v as f64).raw() as u8,
+            PruneBits::Eight => crate::Q1_7::from_f64(v as f64).raw() as u8,
+        }
+    }
+}
+
+impl fmt::Display for PruneBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PruneBits {
+    type Err = ParsePrecisionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "4b" | "4" | "q1.3" => Ok(PruneBits::Four),
+            "8b" | "8" | "q1.7" => Ok(PruneBits::Eight),
+            _ => Err(ParsePrecisionError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
 /// Error returned when parsing a [`Precision`] from a string fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsePrecisionError {
@@ -164,6 +251,23 @@ mod tests {
             assert_eq!(p.label().parse::<Precision>().unwrap(), p);
         }
         assert!("q2.30".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn prune_bits_roundtrip_and_quantize() {
+        for b in PruneBits::ALL {
+            assert_eq!(b.label().parse::<PruneBits>().unwrap(), b);
+            assert_eq!(b.q_format().bits(), b.bits());
+            // Saturation: anything >= 2 hits the format max raw.
+            assert_eq!(b.quantize_raw(5.0) as u64, b.q_format().raw_max());
+            // NaN and negatives map to zero.
+            assert_eq!(b.quantize_raw(f32::NAN), 0);
+            assert_eq!(b.quantize_raw(-0.5), 0);
+        }
+        // Round-to-nearest at the coarse grid: Q1.3 ulp = 0.125.
+        assert_eq!(PruneBits::Four.quantize_raw(0.6), 5); // 0.625 is nearer
+        assert_eq!(PruneBits::Eight.quantize_raw(0.5), 64);
+        assert!("2b".parse::<PruneBits>().is_err());
     }
 
     #[test]

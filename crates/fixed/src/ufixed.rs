@@ -253,6 +253,31 @@ mod tests {
     }
 
     #[test]
+    fn low_bit_widths_share_the_documented_semantics() {
+        // The 4/8-bit prune widths are ordinary UFixed formats: round to
+        // nearest on the coarse grid, saturate to [0, 2 - ulp], and map
+        // NaN/negative inputs to zero — bit-exact and width-independent.
+        assert_eq!(UFixed::<4>::FRAC_BITS, 3);
+        assert_eq!(UFixed::<4>::RAW_MAX, 15);
+        assert_eq!(UFixed::<8>::FRAC_BITS, 7);
+        assert_eq!(UFixed::<8>::RAW_MAX, 255);
+        // Round-to-nearest: Q1.3's ulp is 0.125, so 0.6 -> 0.625 (raw 5)
+        // and 0.55 -> 0.5 (raw 4).
+        assert_eq!(UFixed::<4>::from_f64(0.6).raw(), 5);
+        assert_eq!(UFixed::<4>::from_f64(0.55).raw(), 4);
+        // Saturation at the top of the range, zero clamp at the bottom.
+        assert_eq!(UFixed::<4>::from_f64(7.0).raw(), 15);
+        assert_eq!(UFixed::<4>::from_f64(-1.0), UFixed::<4>::ZERO);
+        assert_eq!(UFixed::<8>::from_f64(f64::NAN), UFixed::<8>::ZERO);
+        // ONE is exact at every width.
+        assert_eq!(UFixed::<4>::ONE.to_f64(), 1.0);
+        assert_eq!(UFixed::<8>::ONE.to_f64(), 1.0);
+        // Widening products stay exact (2 * FRAC_BITS fractional bits).
+        let p = UFixed::<8>::from_f64(0.5).widening_mul(UFixed::<8>::from_f64(0.25));
+        assert_eq!(p as f64 / (14f64).exp2(), 0.125);
+    }
+
+    #[test]
     fn qformat_reports_resolution() {
         let q = QFormat::new(25);
         assert_eq!(q.bits(), 25);

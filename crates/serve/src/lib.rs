@@ -51,9 +51,16 @@
 //!   assembles a service from shards loaded with
 //!   `tkspmv::PreparedMatrix::load`, so a restart pays disk I/O instead
 //!   of re-encoding the collection.
+//! - **Precision tiers** — requests carry a [`tkspmv::QueryTier`]
+//!   (`Exact`, or `Pruned { shortlist_factor }` for the staged low-bit
+//!   prune + exact rescore fast lane of a `tkspmv::PrunedBackend`).
+//!   [`TopKService::submit_tiered`] / [`TopKService::query_tiered`] set
+//!   it; plain `submit` / `query` are the exact tier. The batcher never
+//!   mixes tiers in one backend batch — the same discipline as epochs —
+//!   and [`ServiceMetrics::tiers`] reports per-tier counts and latency.
 //! - **Observability** — [`ServiceMetrics`] snapshots p50/p95/p99
 //!   latency, the batch-size histogram, throughput, shed counts, the
-//!   serving epoch, and batcher wake-ups.
+//!   serving epoch, per-tier breakdowns, and batcher wake-ups.
 //! - **Shutdown** — [`TopKService::shutdown`] (and `Drop`) stops
 //!   admissions, drains every queued and in-flight request to a
 //!   response, and joins all threads.
@@ -117,5 +124,8 @@ mod service;
 
 pub use batch::BatchPolicy;
 pub use error::ServeError;
-pub use metrics::ServiceMetrics;
+pub use metrics::{ServiceMetrics, TierMetrics};
 pub use service::{ServedResult, ServiceBuilder, Ticket, TopKService};
+// The tier type requests carry; re-exported so servers need not depend
+// on the core crate for it.
+pub use tkspmv::backend::QueryTier;

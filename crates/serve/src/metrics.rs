@@ -7,6 +7,52 @@ use std::time::{Duration, Instant};
 /// most recent completions; older samples age out under sustained load).
 const LATENCY_RESERVOIR: usize = 65_536;
 
+/// Per-tier latency reservoir (smaller: one per precision tier).
+const TIER_RESERVOIR: usize = 16_384;
+
+/// Per-precision-tier serving statistics, one entry per tier observed.
+///
+/// Tiers are identified by their label (`exact`, `pruned-c4`, ...), so a
+/// service that mixes shortlist factors reports each separately.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct TierMetrics {
+    /// The tier label (`QueryTier::label`).
+    pub tier: String,
+    /// Requests answered successfully at this tier.
+    pub served: u64,
+    /// Requests that failed at this tier.
+    pub failed: u64,
+    /// Median end-to-end latency at this tier.
+    pub latency_p50: Duration,
+    /// 95th-percentile end-to-end latency at this tier.
+    pub latency_p95: Duration,
+    /// 99th-percentile end-to-end latency at this tier.
+    pub latency_p99: Duration,
+}
+
+/// Mutable per-tier counters, keyed by tier label.
+#[derive(Debug)]
+struct TierInner {
+    label: String,
+    served: u64,
+    failed: u64,
+    latencies_us: Vec<u64>,
+    next_slot: usize,
+}
+
+impl TierInner {
+    fn new(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            served: 0,
+            failed: 0,
+            latencies_us: Vec::new(),
+            next_slot: 0,
+        }
+    }
+}
+
 /// A point-in-time snapshot of a service's behaviour since start-up.
 ///
 /// Taken with `TopKService::metrics` (cheap: one mutex and a sort of a
@@ -50,6 +96,9 @@ pub struct ServiceMetrics {
     /// count — the regression guard against the batcher busy-spinning
     /// (e.g. under a zero `max_wait` policy).
     pub batcher_wakeups: u64,
+    /// Per-precision-tier counts and latency percentiles, sorted by tier
+    /// label. Empty until the first request completes.
+    pub tiers: Vec<TierMetrics>,
 }
 
 /// Mutable counters behind the service's metrics mutex.
@@ -67,6 +116,9 @@ pub(crate) struct MetricsInner {
     /// Current collection epoch and the number of swaps that produced it.
     epoch: u64,
     swaps: u64,
+    /// Per-tier counters; a handful of tiers at most, so a linear scan
+    /// by label beats map overhead.
+    tiers: Vec<TierInner>,
 }
 
 impl MetricsInner {
@@ -82,10 +134,20 @@ impl MetricsInner {
             batch_hist: Vec::new(),
             epoch: 0,
             swaps: 0,
+            tiers: Vec::new(),
         }
     }
 
-    pub(crate) fn record_served(&mut self, latency: Duration) {
+    fn tier_entry(&mut self, label: &str) -> &mut TierInner {
+        if let Some(i) = self.tiers.iter().position(|t| t.label == label) {
+            &mut self.tiers[i]
+        } else {
+            self.tiers.push(TierInner::new(label));
+            self.tiers.last_mut().expect("just pushed")
+        }
+    }
+
+    pub(crate) fn record_served(&mut self, latency: Duration, tier: &str) {
         self.served += 1;
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
         if self.latencies_us.len() < LATENCY_RESERVOIR {
@@ -94,10 +156,19 @@ impl MetricsInner {
             self.latencies_us[self.next_slot] = us;
             self.next_slot = (self.next_slot + 1) % LATENCY_RESERVOIR;
         }
+        let entry = self.tier_entry(tier);
+        entry.served += 1;
+        if entry.latencies_us.len() < TIER_RESERVOIR {
+            entry.latencies_us.push(us);
+        } else {
+            entry.latencies_us[entry.next_slot] = us;
+            entry.next_slot = (entry.next_slot + 1) % TIER_RESERVOIR;
+        }
     }
 
-    pub(crate) fn record_failed(&mut self, requests: u64) {
+    pub(crate) fn record_failed(&mut self, requests: u64, tier: &str) {
         self.failed += requests;
+        self.tier_entry(tier).failed += requests;
     }
 
     pub(crate) fn record_shed(&mut self) {
@@ -156,6 +227,26 @@ impl MetricsInner {
             epoch: self.epoch,
             swaps: self.swaps,
             batcher_wakeups,
+            tiers: {
+                let mut tiers: Vec<TierMetrics> = self
+                    .tiers
+                    .iter()
+                    .map(|t| {
+                        let mut sorted = t.latencies_us.clone();
+                        sorted.sort_unstable();
+                        TierMetrics {
+                            tier: t.label.clone(),
+                            served: t.served,
+                            failed: t.failed,
+                            latency_p50: percentile(&sorted, 0.50),
+                            latency_p95: percentile(&sorted, 0.95),
+                            latency_p99: percentile(&sorted, 0.99),
+                        }
+                    })
+                    .collect();
+                tiers.sort_by(|a, b| a.tier.cmp(&b.tier));
+                tiers
+            },
         }
     }
 }
@@ -240,9 +331,9 @@ mod tests {
     fn snapshot_aggregates_counters() {
         let mut m = MetricsInner::new();
         for us in [100u64, 200, 300, 400] {
-            m.record_served(Duration::from_micros(us));
+            m.record_served(Duration::from_micros(us), "exact");
         }
-        m.record_failed(2);
+        m.record_failed(2, "exact");
         m.record_shed();
         m.record_batch(1);
         m.record_batch(3);
@@ -263,10 +354,12 @@ mod tests {
     fn latency_reservoir_is_bounded() {
         let mut m = MetricsInner::new();
         for i in 0..(LATENCY_RESERVOIR as u64 + 10) {
-            m.record_served(Duration::from_micros(i));
+            m.record_served(Duration::from_micros(i), "exact");
         }
         assert_eq!(m.latencies_us.len(), LATENCY_RESERVOIR);
         assert_eq!(m.snapshot(0).served, LATENCY_RESERVOIR as u64 + 10);
+        // The per-tier reservoir is bounded independently.
+        assert_eq!(m.tiers[0].latencies_us.len(), TIER_RESERVOIR);
     }
 
     #[test]
@@ -276,5 +369,26 @@ mod tests {
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.latency_p99, Duration::ZERO);
         assert!(s.batch_size_histogram.is_empty());
+        assert!(s.tiers.is_empty());
+    }
+
+    #[test]
+    fn tiers_are_accounted_separately_and_sorted() {
+        let mut m = MetricsInner::new();
+        m.record_served(Duration::from_micros(900), "pruned-c4");
+        m.record_served(Duration::from_micros(100), "exact");
+        m.record_served(Duration::from_micros(200), "exact");
+        m.record_failed(1, "pruned-c4");
+        let s = m.snapshot(0);
+        assert_eq!(s.served, 3);
+        assert_eq!(s.failed, 1);
+        let labels: Vec<&str> = s.tiers.iter().map(|t| t.tier.as_str()).collect();
+        assert_eq!(labels, ["exact", "pruned-c4"]);
+        let exact = &s.tiers[0];
+        assert_eq!((exact.served, exact.failed), (2, 0));
+        assert_eq!(exact.latency_p50, Duration::from_micros(100));
+        let pruned = &s.tiers[1];
+        assert_eq!((pruned.served, pruned.failed), (1, 1));
+        assert_eq!(pruned.latency_p99, Duration::from_micros(900));
     }
 }

@@ -8,7 +8,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tkspmv::backend::{MatrixShard, PreparedMatrix, QueryBatch, TopKBackend};
+use tkspmv::backend::{MatrixShard, PreparedMatrix, QueryBatch, QueryTier, TopKBackend};
 use tkspmv::{EngineError, TopKResult};
 use tkspmv_sparse::{Csr, DenseVector};
 
@@ -43,6 +43,8 @@ pub struct ServedResult {
     /// Queries in the backend batch this request rode in (1 when the
     /// policy is [`BatchPolicy::immediate`] or traffic was idle).
     pub batch_size: usize,
+    /// The precision tier this request was answered at.
+    pub tier: QueryTier,
 }
 
 /// A claim on an in-flight request, returned by [`TopKService::submit`].
@@ -94,6 +96,9 @@ struct Epoch {
 struct Pending {
     x: DenseVector,
     k: usize,
+    /// The precision tier the caller asked for; the batcher never mixes
+    /// tiers inside one backend batch.
+    tier: QueryTier,
     enqueued: Instant,
     /// The collection generation this request was admitted against.
     epoch: Arc<Epoch>,
@@ -114,6 +119,9 @@ type ShardOutcome = Result<Vec<Vec<(u32, f64)>>, ServeError>;
 struct Job {
     batch: QueryBatch,
     k: usize,
+    /// The precision tier every member asked for (the batcher only
+    /// coalesces same-tier requests).
+    tier: QueryTier,
     /// The collection generation every member was admitted against
     /// (the batcher only coalesces same-epoch requests).
     epoch: Arc<Epoch>,
@@ -150,37 +158,46 @@ impl Job {
                 }
             }
         }
-        // Merge and respond first, then take the metrics lock only to
-        // bump counters — the lock is shared with submit()'s shed
+        // Merge first, record, then respond. The metrics lock is taken
+        // only to bump counters — it is shared with submit()'s shed
         // accounting, so holding it across per-query sorts would stall
-        // submitters and other finishing batches service-wide.
+        // submitters and other finishing batches service-wide. Recording
+        // *before* the sends keeps a blocking caller's next metrics()
+        // snapshot consistent with the response it just received.
+        let tier_label = self.tier.label();
         match failure {
             Some(error) => {
+                {
+                    let mut metrics = lock(&inner.metrics);
+                    metrics.record_batch(batch_size);
+                    metrics.record_failed(self.responders.len() as u64, &tier_label);
+                }
                 for responder in &self.responders {
                     // A dropped ticket is fine; everyone else gets the
                     // first shard failure.
                     let _ = responder.tx.send(Err(error.clone()));
                 }
-                let mut metrics = lock(&inner.metrics);
-                metrics.record_batch(batch_size);
-                metrics.record_failed(self.responders.len() as u64);
             }
             None => {
-                let mut latencies = Vec::with_capacity(batch_size);
+                let mut outputs = Vec::with_capacity(batch_size);
                 for (responder, pairs) in self.responders.iter().zip(per_query) {
                     let topk = TopKResult::merge_pairs(pairs, self.k);
-                    let latency = responder.enqueued.elapsed();
-                    latencies.push(latency);
+                    outputs.push((responder, topk, responder.enqueued.elapsed()));
+                }
+                {
+                    let mut metrics = lock(&inner.metrics);
+                    metrics.record_batch(batch_size);
+                    for &(_, _, latency) in &outputs {
+                        metrics.record_served(latency, &tier_label);
+                    }
+                }
+                for (responder, topk, latency) in outputs {
                     let _ = responder.tx.send(Ok(ServedResult {
                         topk,
                         latency,
                         batch_size,
+                        tier: self.tier,
                     }));
-                }
-                let mut metrics = lock(&inner.metrics);
-                metrics.record_batch(batch_size);
-                for latency in latencies {
-                    metrics.record_served(latency);
                 }
             }
         }
@@ -235,15 +252,17 @@ impl Inner {
         Arc::clone(&lock(&self.epoch))
     }
 
-    /// Ships a coalesced set of same-`k`, same-epoch requests to every
-    /// shard.
+    /// Ships a coalesced set of same-`k`, same-tier, same-epoch requests
+    /// to every shard.
     fn dispatch(&self, members: Vec<Pending>) {
         let k = members[0].k;
+        let tier = members[0].tier;
         let epoch = Arc::clone(&members[0].epoch);
         let mut queries = Vec::with_capacity(members.len());
         let mut responders = Vec::with_capacity(members.len());
         for pending in members {
             debug_assert!(Arc::ptr_eq(&epoch, &pending.epoch));
+            debug_assert_eq!(tier, pending.tier);
             queries.push(pending.x);
             responders.push(Responder {
                 enqueued: pending.enqueued,
@@ -256,7 +275,7 @@ impl Inner {
             // a response is owed either way.
             Err(e) => {
                 let error = ServeError::Engine(e);
-                lock(&self.metrics).record_failed(responders.len() as u64);
+                lock(&self.metrics).record_failed(responders.len() as u64, &tier.label());
                 for responder in &responders {
                     let _ = responder.tx.send(Err(error.clone()));
                 }
@@ -266,6 +285,7 @@ impl Inner {
         let job = Arc::new(Job {
             batch,
             k,
+            tier,
             epoch,
             responders,
             partials: Mutex::new((0..self.shards.len()).map(|_| None).collect()),
@@ -278,22 +298,30 @@ impl Inner {
     }
 }
 
-/// Moves queued requests compatible with the seed — same `k` *and* same
-/// collection epoch — into `members`, preserving the queue order of
-/// everything left behind.
+/// Moves queued requests compatible with the seed — same `k`, same
+/// precision tier *and* same collection epoch — into `members`,
+/// preserving the queue order of everything left behind.
 ///
 /// One O(len) rotation — every entry is popped once and either joins
 /// the batch or returns to the back in its original relative order — so
 /// batch formation never does quadratic element shifting while holding
 /// the submit mutex. Epoch matching is what keeps a hot swap linear:
 /// requests admitted against the old collection never share a backend
-/// batch with requests admitted against the new one.
+/// batch with requests admitted against the new one. Tier matching is
+/// the same discipline for precision: an exact request never rides a
+/// pruned batch (or vice versa), so every response honours the
+/// precision contract its caller asked for.
 fn extract_compatible(queue: &mut VecDeque<Pending>, members: &mut Vec<Pending>, max: usize) {
     let k = members[0].k;
+    let tier = members[0].tier;
     let epoch = Arc::clone(&members[0].epoch);
     for _ in 0..queue.len() {
         let pending = queue.pop_front().expect("len checked by the loop bound");
-        if members.len() < max && pending.k == k && Arc::ptr_eq(&pending.epoch, &epoch) {
+        if members.len() < max
+            && pending.k == k
+            && pending.tier == tier
+            && Arc::ptr_eq(&pending.epoch, &epoch)
+        {
             members.push(pending);
         } else {
             queue.push_back(pending);
@@ -399,9 +427,10 @@ fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
         // admitted must not change what it runs against.
         let shard = &job.epoch.shards[shard_index];
         let ran = catch_unwind(AssertUnwindSafe(|| {
-            let results = inner
-                .backend
-                .query_batch(shard.matrix(), &job.batch, job.k)?;
+            let results =
+                inner
+                    .backend
+                    .query_batch_tiered(shard.matrix(), &job.batch, job.k, job.tier)?;
             Ok(results
                 .iter()
                 .map(|r| shard.globalize(&r.topk))
@@ -822,8 +851,8 @@ impl TopKService {
         Ok(id)
     }
 
-    /// Admits a query into the submission queue, returning a [`Ticket`]
-    /// for the response. Never blocks on backend work.
+    /// Admits an exact-tier query into the submission queue, returning a
+    /// [`Ticket`] for the response. Never blocks on backend work.
     ///
     /// # Errors
     ///
@@ -832,6 +861,27 @@ impl TopKService {
     /// the bounded queue sheds the request, [`ServeError::ShuttingDown`]
     /// after [`shutdown`](TopKService::shutdown) has begun.
     pub fn submit(&self, x: DenseVector, k: usize) -> Result<Ticket, ServeError> {
+        self.submit_tiered(x, k, QueryTier::Exact)
+    }
+
+    /// [`TopKService::submit`] at an explicit precision tier — the fast
+    /// lane: a [`QueryTier::Pruned`] request rides the staged low-bit
+    /// prune + exact rescore pipeline when the service backend supports
+    /// it (a `PrunedBackend`). Batches never mix tiers, so an exact
+    /// request never pays for — or benefits from — a pruned neighbour.
+    ///
+    /// # Errors
+    ///
+    /// As [`TopKService::submit`], plus [`ServeError::BadRequest`] for a
+    /// zero shortlist factor. A pruned-tier request against a backend
+    /// without a staged pipeline fails at execution with
+    /// [`ServeError::Engine`], not silently downgraded.
+    pub fn submit_tiered(
+        &self,
+        x: DenseVector,
+        k: usize,
+        tier: QueryTier,
+    ) -> Result<Ticket, ServeError> {
         if x.len() != self.inner.dim {
             return Err(ServeError::BadRequest(EngineError::vector_length_mismatch(
                 x.len(),
@@ -840,6 +890,14 @@ impl TopKService {
         }
         if k == 0 {
             return Err(ServeError::BadRequest(EngineError::zero_big_k()));
+        }
+        if let QueryTier::Pruned {
+            shortlist_factor: 0,
+        } = tier
+        {
+            return Err(ServeError::BadRequest(EngineError::invalid_config(
+                "shortlist factor must be at least 1",
+            )));
         }
         let (tx, rx) = mpsc::channel();
         {
@@ -859,6 +917,7 @@ impl TopKService {
             q.queue.push_back(Pending {
                 x,
                 k,
+                tier,
                 enqueued: Instant::now(),
                 epoch: self.inner.current_epoch(),
                 tx,
@@ -875,6 +934,21 @@ impl TopKService {
     /// As [`TopKService::submit`], plus whatever the execution reports.
     pub fn query(&self, x: DenseVector, k: usize) -> Result<ServedResult, ServeError> {
         self.submit(x, k)?.wait()
+    }
+
+    /// Submits at an explicit precision tier and blocks for the answer.
+    ///
+    /// # Errors
+    ///
+    /// As [`TopKService::submit_tiered`], plus whatever the execution
+    /// reports.
+    pub fn query_tiered(
+        &self,
+        x: DenseVector,
+        k: usize,
+        tier: QueryTier,
+    ) -> Result<ServedResult, ServeError> {
+        self.submit_tiered(x, k, tier)?.wait()
     }
 
     /// Snapshots the service's metrics.
@@ -1571,6 +1645,89 @@ mod tests {
         let served = svc.query(x, 5).unwrap();
         assert!(served.topk.indices().iter().all(|&r| (40..80).contains(&r)));
         svc.shutdown();
+    }
+
+    #[test]
+    fn tiered_requests_never_mix_and_report_per_tier_metrics() {
+        use tkspmv::PrunedBackend;
+        use tkspmv_fixed::PruneBits;
+
+        let csr = collection(240);
+        let backend = Arc::new(
+            PrunedBackend::new(Arc::new(TestBackend::exact()), PruneBits::Eight, 4).unwrap(),
+        );
+        let svc = TopKService::builder(backend.clone())
+            .shards(1)
+            .batch_policy(BatchPolicy::coalescing(8, Duration::from_millis(2)))
+            .build(&csr)
+            .unwrap();
+        let direct = backend.prepare(&csr).unwrap();
+        for seed in 0..4 {
+            let x = query_vector(64, seed);
+            let exact = svc.query_tiered(x.clone(), 10, QueryTier::Exact).unwrap();
+            assert_eq!(exact.tier, QueryTier::Exact);
+            assert_eq!(exact.topk, direct_reference(&csr, &x, 10));
+            let pruned = svc
+                .query_tiered(
+                    x.clone(),
+                    10,
+                    QueryTier::Pruned {
+                        shortlist_factor: 4,
+                    },
+                )
+                .unwrap();
+            assert_eq!(
+                pruned.tier,
+                QueryTier::Pruned {
+                    shortlist_factor: 4
+                }
+            );
+            // One shard: the served pruned answer equals the direct
+            // staged answer on the full collection.
+            assert_eq!(
+                pruned.topk,
+                TopKBackend::query(backend.as_ref(), &direct, &x, 10)
+                    .unwrap()
+                    .topk
+            );
+        }
+        let m = svc.shutdown();
+        assert_eq!(m.served, 8);
+        let labels: Vec<&str> = m.tiers.iter().map(|t| t.tier.as_str()).collect();
+        assert_eq!(labels, ["exact", "pruned-c4"]);
+        assert!(m.tiers.iter().all(|t| t.served == 4 && t.failed == 0));
+    }
+
+    #[test]
+    fn pruned_tier_against_a_plain_backend_fails_typed() {
+        let csr = collection(50);
+        let svc = service(&csr, 2, BatchPolicy::immediate());
+        let err = svc
+            .query_tiered(
+                query_vector(64, 1),
+                5,
+                QueryTier::Pruned {
+                    shortlist_factor: 2,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Engine(_)), "{err}");
+        // Zero shortlist factors never reach the queue.
+        assert!(matches!(
+            svc.submit_tiered(
+                query_vector(64, 1),
+                5,
+                QueryTier::Pruned {
+                    shortlist_factor: 0
+                }
+            ),
+            Err(ServeError::BadRequest(_))
+        ));
+        let m = svc.shutdown();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.tiers.len(), 1);
+        assert_eq!(m.tiers[0].tier, "pruned-c2");
+        assert_eq!(m.tiers[0].failed, 1);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! - persisted index snapshots (module [`snapshot`]): a versioned,
 //!   CRC-checked binary container for encoded collections, so the
 //!   one-time BS-CSR encode is paid once per collection instead of once
-//!   per process start.
+//!   per process start;
+//! - a companion [`PruneIndex`]: a 4/8-bit row-major stream built
+//!   alongside the exact form for the candidate-generation pass of a
+//!   staged prune + exact-rescore query pipeline, persisted as an
+//!   optional snapshot section.
 //!
 //! # Example: encode a matrix as BS-CSR and walk its packets
 //!
@@ -52,6 +56,7 @@ pub mod gen;
 pub mod io;
 mod layout;
 mod packet;
+mod prune;
 pub mod snapshot;
 
 pub use bitio::{BitReader, BitWriter};
@@ -63,3 +68,4 @@ pub use dense::DenseVector;
 pub use error::SparseError;
 pub use layout::PacketLayout;
 pub use packet::{Packet512, PACKET_BITS, PACKET_BYTES};
+pub use prune::{PruneIndex, PruneQuery};

@@ -1,0 +1,120 @@
+//! Degenerate inputs are rejected the same way by every engine in the
+//! workspace — the emulated accelerator, the CPU and GPU baselines, and
+//! the staged [`PrunedBackend`] pipeline wrapped around each of them:
+//!
+//! - `K = 0` is a typed [`EngineError::BadQuery`] at query time;
+//! - an empty collection (zero rows) is a typed
+//!   [`EngineError::InvalidConfig`] at prepare time;
+//! - a query vector of the wrong length is a typed
+//!   [`EngineError::BadQuery`];
+//!
+//! never a panic, and never a backend-specific error shape a caller
+//! would have to special-case.
+
+use std::sync::Arc;
+
+use tkspmv::backend::{QueryBatch, QueryTier, TopKBackend};
+use tkspmv::{Accelerator, EngineError, PrunedBackend};
+use tkspmv_baselines::cpu::CpuTopK;
+use tkspmv_baselines::gpu::{GpuModel, GpuPrecision, GpuTopK};
+use tkspmv_fixed::PruneBits;
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::Csr;
+
+/// Every plain backend family, plus the staged pipeline wrapped around
+/// each of them — the wrapper must not soften or reshape the contract.
+fn all_backends() -> Vec<Arc<dyn TopKBackend>> {
+    let plain: Vec<Arc<dyn TopKBackend>> = vec![
+        Arc::new(
+            Accelerator::builder()
+                .cores(4)
+                .k(8)
+                .build()
+                .expect("small design builds"),
+        ),
+        Arc::new(CpuTopK::new(2)),
+        Arc::new(GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32)),
+    ];
+    let mut backends = plain.clone();
+    for inner in plain {
+        backends.push(Arc::new(
+            PrunedBackend::new(inner, PruneBits::Eight, 4).expect("factor 4 is valid"),
+        ));
+    }
+    backends
+}
+
+fn collection() -> Csr {
+    SyntheticConfig {
+        num_rows: 300,
+        num_cols: 64,
+        avg_nnz_per_row: 10,
+        distribution: NnzDistribution::Uniform,
+        seed: 23,
+    }
+    .generate()
+}
+
+#[test]
+fn zero_k_is_a_typed_bad_query_everywhere() {
+    let csr = collection();
+    for backend in all_backends() {
+        let prepared = backend.prepare(&csr).expect("prepare");
+        let x = query_vector(64, 1);
+        assert!(
+            matches!(
+                backend.query(&prepared, &x, 0),
+                Err(EngineError::BadQuery { .. })
+            ),
+            "{}: K = 0 must be BadQuery",
+            backend.name()
+        );
+        // The tiered batch entry points agree with the single-query one.
+        let batch = QueryBatch::random(2, 64, 5);
+        for tier in [
+            QueryTier::Exact,
+            QueryTier::Pruned {
+                shortlist_factor: 2,
+            },
+        ] {
+            let got = backend.query_batch_tiered(&prepared, &batch, 0, tier);
+            assert!(
+                matches!(got, Err(EngineError::BadQuery { .. })),
+                "{}: K = 0 at tier {tier} must be BadQuery",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_collections_are_rejected_at_prepare_everywhere() {
+    let empty = Csr::from_triplets(0, 16, &[]).expect("zero-row CSR builds at the format layer");
+    for backend in all_backends() {
+        assert!(
+            matches!(
+                backend.prepare(&empty),
+                Err(EngineError::InvalidConfig { .. })
+            ),
+            "{}: an empty collection must be InvalidConfig at prepare",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn wrong_query_length_is_a_typed_bad_query_everywhere() {
+    let csr = collection();
+    for backend in all_backends() {
+        let prepared = backend.prepare(&csr).expect("prepare");
+        let short = query_vector(63, 1);
+        assert!(
+            matches!(
+                backend.query(&prepared, &short, 5),
+                Err(EngineError::BadQuery { .. })
+            ),
+            "{}: a 63-entry query against 64 columns must be BadQuery",
+            backend.name()
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Correctness properties of the staged two-phase pipeline
+//! ([`PrunedBackend`]): the low-bit prune pass may only *narrow* where
+//! exact rescoring looks, so
+//!
+//! 1. **Covering shortlist ⇒ exactness** — whenever `c·k ≥ rows` the
+//!    pipeline's answer is element-wise identical to the wrapped exact
+//!    backend (the shortlist covers every row, so nothing is pruned
+//!    away — whether by fall-through or by rescoring all rows).
+//! 2. **Recall is monotone in `c`** — the factor-`c` shortlist is a
+//!    prefix of the factor-`c'` shortlist for `c ≤ c'` under the
+//!    engine-wide total order, and every true Top-K member that reaches
+//!    the shortlist survives exact rescoring; so recall@k can only grow
+//!    with `c`. Checked on the paper's Table III left-skewed `Γ(3, 4/3)`
+//!    synthetics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tkspmv::backend::TopKBackend;
+use tkspmv::PrunedBackend;
+use tkspmv_baselines::cpu::CpuTopK;
+use tkspmv_eval::metrics::precision_at_k;
+use tkspmv_fixed::PruneBits;
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::{Csr, DenseVector};
+
+/// A random matrix, a few query vectors, and a `k`.
+fn arb_case() -> impl Strategy<Value = (Csr, Vec<DenseVector>, usize)> {
+    (24usize..60, 8usize..48, 1usize..9).prop_flat_map(|(rows, cols, k)| {
+        let matrix = proptest::collection::btree_set((0..rows as u32, 0..cols as u32), 1..150)
+            .prop_map(move |coords| {
+                let triplets: Vec<(u32, u32, f32)> = coords
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (r, c))| (r, c, ((i * 13 % 89) + 1) as f32 / 100.0))
+                    .collect();
+                Csr::from_triplets(rows, cols, &triplets).expect("valid")
+            });
+        let queries = proptest::collection::vec(
+            proptest::collection::vec(0.0f32..1.0, cols..=cols).prop_map(DenseVector::from_values),
+            1..5,
+        );
+        (matrix, queries, Just(k))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property 1: `c·k ≥ rows` ⇒ identical to the wrapped backend, at
+    /// both companion widths.
+    #[test]
+    fn covering_shortlist_equals_the_wrapped_exact_backend(
+        (csr, queries, k) in arb_case()
+    ) {
+        let k = k.min(csr.num_rows());
+        let inner: Arc<dyn TopKBackend> = Arc::new(CpuTopK::new(2));
+        let prepared = inner.prepare(&csr).expect("inner prepare");
+        // The smallest covering factor, so the test also exercises the
+        // boundary where `c·k` just reaches `rows`.
+        let factor = csr.num_rows().div_ceil(k);
+        for bits in PruneBits::ALL {
+            let staged = PrunedBackend::new(Arc::clone(&inner), bits, factor)
+                .expect("covering factor is valid");
+            let staged_prepared = staged.prepare(&csr).expect("staged prepare");
+            for x in &queries {
+                let exact = inner.query(&prepared, x, k).expect("exact query");
+                let got = staged.query(&staged_prepared, x, k).expect("staged query");
+                prop_assert_eq!(
+                    &got.topk, &exact.topk,
+                    "{}: covering shortlist (c = {}) diverged from exact",
+                    staged.name(), factor
+                );
+            }
+        }
+    }
+}
+
+/// Property 2 on the paper's workload shape: recall@k never drops when
+/// the shortlist factor grows, and reaches 1.0 once `c·k` covers the
+/// collection.
+#[test]
+fn recall_is_monotone_in_the_shortlist_factor_on_table3_synthetics() {
+    let csr = SyntheticConfig {
+        num_rows: 2_000,
+        num_cols: 128,
+        avg_nnz_per_row: 12,
+        distribution: NnzDistribution::table3_gamma(),
+        seed: 31,
+    }
+    .generate();
+    let k = 20;
+    let inner: Arc<dyn TopKBackend> = Arc::new(CpuTopK::new(2));
+    let prepared = inner.prepare(&csr).expect("inner prepare");
+
+    for bits in PruneBits::ALL {
+        for seed in [1u64, 2, 3, 4] {
+            let x = query_vector(128, seed);
+            let truth = inner.query(&prepared, &x, k).expect("exact query");
+            let mut last = 0.0f64;
+            // 100·20 = 2000 covers the collection, closing the sweep at
+            // recall exactly 1.
+            for factor in [1usize, 2, 4, 8, 16, 100] {
+                let staged =
+                    PrunedBackend::new(Arc::clone(&inner), bits, factor).expect("factor is valid");
+                let sp = staged.prepare(&csr).expect("staged prepare");
+                let got = staged.query(&sp, &x, k).expect("staged query");
+                let recall = precision_at_k(&got.topk.indices(), &truth.topk.indices());
+                assert!(
+                    recall >= last,
+                    "{bits}: recall dropped from {last:.3} to {recall:.3} at c = {factor}"
+                );
+                last = recall;
+            }
+            assert_eq!(last, 1.0, "{bits}: covering factor must reach full recall");
+        }
+    }
+}

@@ -22,10 +22,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
-use tkspmv::backend::{PreparedMatrix, TopKBackend};
-use tkspmv::{Accelerator, TopKResult};
+use tkspmv::backend::{PreparedMatrix, QueryBatch, QueryTier, TopKBackend};
+use tkspmv::{Accelerator, PrunedBackend, TopKResult};
 use tkspmv_baselines::cpu::CpuTopK;
 use tkspmv_baselines::gpu::{GpuModel, GpuPrecision, GpuTopK};
+use tkspmv_fixed::PruneBits;
 use tkspmv_serve::{BatchPolicy, TopKService};
 use tkspmv_sparse::{Csr, DenseVector};
 
@@ -139,6 +140,66 @@ fn policy_from(selector: usize) -> BatchPolicy {
     }
 }
 
+/// Direct per-shard reference at an explicit tier: same layout, no
+/// serving machinery, answered through `query_batch_tiered`.
+fn sharded_tiered_reference(
+    backend: &dyn TopKBackend,
+    csr: &Csr,
+    shards: usize,
+    x: &DenseVector,
+    k: usize,
+    tier: QueryTier,
+) -> TopKResult {
+    let layout = PreparedMatrix::prepare_row_shards(backend, csr, shards).expect("shards prepare");
+    let batch = QueryBatch::new(vec![x.clone()]).expect("one-query batch");
+    let mut pairs = Vec::new();
+    for shard in &layout {
+        let out = backend
+            .query_batch_tiered(shard.matrix(), &batch, k, tier)
+            .expect("shard query");
+        pairs.extend(shard.globalize(&out[0].topk));
+    }
+    TopKResult::merge_pairs(pairs, k)
+}
+
+/// Serve every (query, tier) pair concurrently and collect the answers
+/// in submission order, asserting each response echoes its tier.
+fn serve_tiered_concurrently(
+    backend: Arc<dyn TopKBackend>,
+    csr: &Csr,
+    shards: usize,
+    policy: BatchPolicy,
+    work: &[(DenseVector, QueryTier)],
+    k: usize,
+) -> Vec<TopKResult> {
+    let service = TopKService::builder(backend)
+        .shards(shards)
+        .batch_policy(policy)
+        .build(csr)
+        .expect("service builds");
+    let answers = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = work
+            .iter()
+            .map(|(x, tier)| {
+                scope.spawn(move || {
+                    let served = service.query_tiered(x.clone(), k, *tier).expect("served");
+                    assert_eq!(served.tier, *tier, "response must echo its tier");
+                    served.topk
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter"))
+            .collect::<Vec<_>>()
+    });
+    let metrics = service.shutdown();
+    assert_eq!(metrics.served, work.len() as u64);
+    assert_eq!(metrics.failed + metrics.shed, 0);
+    answers
+}
+
 /// A matrix engineered for score collisions: every row is one of a few
 /// repeated patterns, so whole groups of rows tie exactly and the
 /// truncation boundary almost always lands inside a tie group. The
@@ -212,6 +273,59 @@ proptest! {
                     "{}: served diverged from the unsharded direct query \
                      ({shards} shards)", backend.name()
                 );
+            }
+        }
+
+        // The staged prune + rescore pipeline, served with both tiers
+        // interleaved. The exact tier delegates to the wrapped engine,
+        // so it must equal the unsharded exact reference at any shard
+        // count; the pruned tier's shard layout is part of the
+        // approximation (like the accelerator's core partitions), so it
+        // must equal the per-shard tiered reference bit-for-bit — and
+        // the direct unsharded staged answer at one shard.
+        let inner: Arc<dyn TopKBackend> = Arc::new(CpuTopK::new(2));
+        let staged: Arc<dyn TopKBackend> = Arc::new(
+            PrunedBackend::new(Arc::clone(&inner), PruneBits::Eight, 3)
+                .expect("factor 3 is valid"),
+        );
+        let pruned_tier = QueryTier::Pruned { shortlist_factor: 3 };
+        let work: Vec<(DenseVector, QueryTier)> = queries
+            .iter()
+            .flat_map(|x| [(x.clone(), QueryTier::Exact), (x.clone(), pruned_tier)])
+            .collect();
+        let served = serve_tiered_concurrently(
+            Arc::clone(&staged), &csr, shards, policy, &work, k,
+        );
+        for ((x, tier), got) in work.iter().zip(&served) {
+            match tier {
+                QueryTier::Exact => {
+                    let full = direct_reference(inner.as_ref(), &csr, x, k);
+                    prop_assert_eq!(
+                        got, &full,
+                        "staged pipeline: exact tier diverged from the \
+                         unsharded exact query ({shards} shards)"
+                    );
+                }
+                QueryTier::Pruned { .. } => {
+                    let reference =
+                        sharded_tiered_reference(staged.as_ref(), &csr, shards, x, k, *tier);
+                    prop_assert_eq!(
+                        got, &reference,
+                        "staged pipeline: pruned tier diverged from the \
+                         per-shard tiered reference ({shards} shards)"
+                    );
+                    if shards == 1 {
+                        let prepared = staged.prepare(&csr).expect("prepare");
+                        let batch = QueryBatch::new(vec![x.clone()]).expect("one-query batch");
+                        let direct = staged
+                            .query_batch_tiered(&prepared, &batch, k, *tier)
+                            .expect("direct staged query");
+                        prop_assert_eq!(
+                            got, &direct[0].topk,
+                            "pruned tier at 1 shard must equal the direct staged query"
+                        );
+                    }
+                }
             }
         }
 

@@ -13,14 +13,16 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use tkspmv::backend::{PreparedMatrix, TopKBackend};
-use tkspmv::Accelerator;
+use tkspmv::backend::{BackendStats, PreparedMatrix, TopKBackend};
+use tkspmv::{Accelerator, PrunedBackend};
 use tkspmv_baselines::cpu::CpuTopK;
 use tkspmv_baselines::gpu::{GpuModel, GpuPrecision, GpuTopK};
-use tkspmv_sparse::snapshot::{crc32, SnapshotError, SNAPSHOT_VERSION};
+use tkspmv_fixed::PruneBits;
+use tkspmv_sparse::snapshot::{crc32, SnapshotError, PRUNE_SECTION_VERSION, SNAPSHOT_VERSION};
 use tkspmv_sparse::{Csr, DenseVector};
 
-/// Every backend family in the workspace.
+/// Every backend family in the workspace, including the staged prune +
+/// rescore pipeline (whose snapshots carry a companion section).
 fn all_backends() -> Vec<Arc<dyn TopKBackend>> {
     vec![
         Arc::new(
@@ -33,6 +35,10 @@ fn all_backends() -> Vec<Arc<dyn TopKBackend>> {
         Arc::new(CpuTopK::new(2)),
         Arc::new(GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F32)),
         Arc::new(GpuTopK::new(GpuModel::tesla_p100(), GpuPrecision::F16).with_zero_cost_sort()),
+        Arc::new(
+            PrunedBackend::new(Arc::new(CpuTopK::new(2)), PruneBits::Eight, 4)
+                .expect("factor 4 is valid"),
+        ),
     ]
 }
 
@@ -151,6 +157,88 @@ fn wrong_precision_tag_fails_typed() {
         PreparedMatrix::load(b32.as_ref(), bytes.as_slice()),
         Err(SnapshotError::FamilyMismatch { .. })
     ));
+}
+
+/// The deterministic collection the companion-section tests share, and
+/// a CPU backend pair: the plain engine and the staged pipeline wrapped
+/// around it (both write the same `cpu` header + CSR payload bytes —
+/// the staged one just appends a companion section).
+fn cpu_pair() -> (Arc<dyn TopKBackend>, PrunedBackend, Csr) {
+    let cpu: Arc<dyn TopKBackend> = Arc::new(CpuTopK::new(2));
+    let staged =
+        PrunedBackend::new(Arc::clone(&cpu), PruneBits::Eight, 4).expect("factor 4 is valid");
+    let csr = tkspmv_sparse::gen::SyntheticConfig {
+        num_rows: 200,
+        num_cols: 128,
+        avg_nnz_per_row: 10,
+        distribution: tkspmv_sparse::gen::NnzDistribution::Uniform,
+        seed: 7,
+    }
+    .generate();
+    (cpu, staged, csr)
+}
+
+#[test]
+fn v1_snapshots_load_with_pruning_unavailable() {
+    // A version-1 stream is the v2 layout minus the companion tag byte
+    // (v1 predates companions), so back-dating a companion-free v2
+    // snapshot by surgery produces a faithful v1 stream.
+    let (cpu, staged, csr) = cpu_pair();
+    let prepared = cpu.prepare(&csr).expect("prepare");
+    let mut bytes = save_to_vec(cpu.as_ref(), &prepared);
+    bytes[8] = 1;
+    bytes[9] = 0;
+    let tag_at = bytes.len() - 5;
+    assert_eq!(bytes[tag_at], 0, "companion tag byte should read `none`");
+    bytes.remove(tag_at);
+    reseal(&mut bytes);
+
+    // The plain engine loads it as before the format bump…
+    let x = tkspmv_sparse::gen::query_vector(128, 3);
+    let plain = PreparedMatrix::load(cpu.as_ref(), bytes.as_slice()).expect("v1 loads on cpu");
+    let exact = cpu.query(&plain, &x, 10).expect("cpu query");
+
+    // …and the staged pipeline loads it too — with the prune companion
+    // unavailable, so queries observably fall through to the exact path
+    // instead of failing.
+    let loaded =
+        PreparedMatrix::load(&staged, bytes.as_slice()).expect("v1 loads on the staged pipeline");
+    let got = staged.query(&loaded, &x, 10).expect("staged query");
+    assert_eq!(got.topk, exact.topk);
+    assert!(
+        matches!(got.stats, BackendStats::Pruned { pruned: false, .. }),
+        "a pre-companion snapshot must fall through to exact, got {:?}",
+        got.stats
+    );
+}
+
+#[test]
+fn companion_section_version_skew_fails_typed() {
+    let (cpu, staged, csr) = cpu_pair();
+    // Both backends serialize identical bytes up to the companion tag,
+    // so the companion-free stream length locates the tag byte and the
+    // section version field inside the companion-bearing stream.
+    let len_none = save_to_vec(cpu.as_ref(), &cpu.prepare(&csr).expect("prepare")).len();
+    let sp = staged.prepare(&csr).expect("staged prepare");
+    let mut bytes = save_to_vec(&staged, &sp);
+    assert!(
+        bytes.len() > len_none,
+        "companion section should be present"
+    );
+    assert_eq!(
+        bytes[len_none - 5],
+        1,
+        "companion tag byte should read `prune`"
+    );
+    bytes[len_none - 4..len_none - 2].copy_from_slice(&0x7Fu16.to_le_bytes());
+    reseal(&mut bytes);
+    match PreparedMatrix::load(&staged, bytes.as_slice()) {
+        Err(SnapshotError::UnsupportedCompanionVersion { found, supported }) => {
+            assert_eq!(found, 0x7F);
+            assert_eq!(supported, PRUNE_SECTION_VERSION);
+        }
+        other => panic!("expected UnsupportedCompanionVersion, got {other:?}"),
+    }
 }
 
 #[test]
