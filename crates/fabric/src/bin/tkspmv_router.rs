@@ -1,0 +1,170 @@
+//! Fan-out router binary: front a fleet of `tkspmv_node` processes.
+//!
+//! Connects to every shard group, prints the fleet layout, then runs a
+//! closed-loop stream of synthetic queries and reports throughput and
+//! coverage — the smoke tool for a hand-assembled cluster.
+//!
+//! ```text
+//! tkspmv_router --shard 127.0.0.1:7701 --shard 127.0.0.1:7702,127.0.0.1:7703 \
+//!               --queries 1000 --k 100 --deadline-ms 2000
+//! ```
+//!
+//! Each `--shard` is one shard group; commas separate the replicas of a
+//! group (primary first).
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use tkspmv::backend::QueryTier;
+use tkspmv_fabric::{PartialPolicy, Router, RouterConfig, ShardSpec};
+use tkspmv_sparse::gen::query_vector;
+
+struct Args {
+    shards: Vec<ShardSpec>,
+    queries: usize,
+    k: usize,
+    seed: u64,
+    deadline_ms: u64,
+    headroom_ms: u64,
+    tier: QueryTier,
+    allow_partial: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            shards: Vec::new(),
+            queries: 100,
+            k: 100,
+            seed: 7,
+            deadline_ms: 2_000,
+            headroom_ms: 50,
+            tier: QueryTier::Exact,
+            allow_partial: false,
+        }
+    }
+}
+
+const USAGE: &str = "tkspmv_router: fan-out router over tkspmv_node shards
+
+  --shard A[,B,...]   one shard group; commas separate replicas (repeat per group)
+  --queries N         closed-loop queries to run (default 100)
+  --k N               results per query (default 100)
+  --seed N            query stream seed (default 7)
+  --deadline-ms N     per-query deadline (default 2000)
+  --headroom-ms N     required margin above node max_wait (default 50)
+  --tier exact|pruned:C  precision tier (default exact)
+  --allow-partial     return partial coverage instead of failing";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--shard" => args
+                .shards
+                .push(ShardSpec::replicated(value("--shard")?.split(','))),
+            "--queries" => args.queries = parse(&value("--queries")?)?,
+            "--k" => args.k = parse(&value("--k")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--deadline-ms" => args.deadline_ms = parse(&value("--deadline-ms")?)?,
+            "--headroom-ms" => args.headroom_ms = parse(&value("--headroom-ms")?)?,
+            "--tier" => {
+                let v = value("--tier")?;
+                args.tier = match v.as_str() {
+                    "exact" => QueryTier::Exact,
+                    other => match other.strip_prefix("pruned:") {
+                        Some(c) => QueryTier::Pruned {
+                            shortlist_factor: parse(c)?,
+                        },
+                        None => return Err(format!("bad tier {v:?} (exact or pruned:C)")),
+                    },
+                };
+            }
+            "--allow-partial" => args.allow_partial = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    if args.shards.is_empty() {
+        return Err("at least one --shard is required (see --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tkspmv_router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = RouterConfig {
+        deadline: Duration::from_millis(args.deadline_ms),
+        headroom: Duration::from_millis(args.headroom_ms),
+        partial: if args.allow_partial {
+            PartialPolicy::Allow
+        } else {
+            PartialPolicy::Fail
+        },
+        ..RouterConfig::default()
+    };
+    let router = match Router::connect(args.shards, config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tkspmv_router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fleet: {} shard groups, {} rows, dim {}, deadline {:?}",
+        router.num_shards(),
+        router.total_rows(),
+        router.dim(),
+        router.deadline()
+    );
+
+    let dim = router.dim();
+    let mut served = 0usize;
+    let mut partial = 0usize;
+    let start = Instant::now();
+    for i in 0..args.queries {
+        let x = query_vector(dim, args.seed.wrapping_add(i as u64));
+        match router.query(x.as_slice(), args.k, args.tier) {
+            Ok(result) => {
+                served += 1;
+                if !result.coverage.is_complete() {
+                    partial += 1;
+                }
+                if i == 0 {
+                    let top = result.topk.entries().first().copied();
+                    println!("first query: top hit {top:?}");
+                }
+            }
+            Err(e) => {
+                eprintln!("tkspmv_router: query {i} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "served {served}/{} queries ({partial} partial) in {:.3}s — {:.1} qps",
+        args.queries,
+        elapsed.as_secs_f64(),
+        served as f64 / elapsed.as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

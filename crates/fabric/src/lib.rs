@@ -1,0 +1,40 @@
+//! Distributed shard fabric: RPC nodes, a fan-out router, and
+//! delta-shard streaming ingest.
+//!
+//! The paper scales Top-K SpMV by partitioning the collection across
+//! HBM channels, each feeding a private Top-K unit whose answers meet
+//! in one merge network. This crate lifts that picture one level up:
+//! the collection is partitioned across *processes* (each a
+//! [`NodeServer`] over a [`tkspmv_serve::TopKService`]), and a
+//! [`Router`] plays the merge network — fanning each query out, merging
+//! per-node rankings under the engine total order, and degrading
+//! gracefully (typed coverage reports, per-node deadlines, replica
+//! hedging) where hardware merge networks simply stall.
+//!
+//! Three layers, bottom up:
+//!
+//! - [`wire`] — versioned, CRC-checked frames over std TCP. Every
+//!   corruption mode is a distinct [`WireError`]; scores cross as
+//!   `f64` bits, so a routed ranking is bit-identical to a local one.
+//! - [`node`] + [`delta`] — a node serves one row range: a prepared,
+//!   epoch-swappable base plus an append-only delta shard that makes
+//!   new rows queryable immediately. A [`Compactor`] folds deltas into
+//!   the base and hot-swaps the result in, without pausing queries.
+//! - [`router`] — fan-out, merge, deadline enforcement, hedged
+//!   replica retry, and typed partial-coverage reporting.
+
+pub mod client;
+pub mod delta;
+pub mod error;
+pub mod node;
+pub mod router;
+pub mod wire;
+
+pub use client::{CallError, NodeClient};
+pub use delta::{Compactor, CompactorStats, DeltaCollection, SparseRow};
+pub use error::{FabricError, RpcError, ShardFailure};
+pub use node::NodeServer;
+pub use router::{
+    CoverageReport, PartialPolicy, RoutedResult, Router, RouterConfig, ShardOutcome, ShardSpec,
+};
+pub use wire::{NodeInfo, WireError, MAX_BODY_LEN, WIRE_VERSION};

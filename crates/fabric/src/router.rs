@@ -1,0 +1,604 @@
+//! The fan-out router: one query in, every shard asked, one merged
+//! ranking out.
+//!
+//! A router fronts N *shard groups*, each a replica set of nodes
+//! serving the same global row range. A query fans out to every group
+//! concurrently; per-group answers come back with global row ids and
+//! bit-exact scores, and are merged under the engine total order with
+//! [`TopKResult::merge_pairs_dedup`] — the process-level picture of the
+//! paper's per-HBM-channel Top-K units feeding one merge network.
+//!
+//! # Deadlines and the idle-traffic tax
+//!
+//! Every node runs a micro-batcher: a lone query waits up to the node's
+//! `max_wait` before executing (the idle-traffic tax the serving layer
+//! documents). A router deadline at or below that wait would time out
+//! *every* query on an idle cluster — a misconfiguration, not a runtime
+//! condition. [`Router::connect`] therefore fetches each node's
+//! [`NodeInfo`] and rejects, with a typed
+//! [`FabricError::InvalidConfig`], any deadline that does not clear
+//! `max_wait` plus a headroom budget for transport and execution (cover
+//! the node's p99 service time with [`RouterConfig::headroom`]). The
+//! budget split is: `deadline > max_wait + headroom ≥ max_wait + p99`.
+//!
+//! # Retry, hedging, and partial answers
+//!
+//! Within a shard group the router tries the primary replica first; if
+//! it fails — or stays silent past a hedge stagger — the next replica
+//! is asked, all under the same per-query deadline. The first success
+//! wins. A group with no success by the deadline is recorded in the
+//! [`CoverageReport`]; whether the query then fails or returns the
+//! partial merge is the caller's [`PartialPolicy`]. The router never
+//! blocks past the deadline (plus bounded connect slack) regardless of
+//! how nodes die.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tkspmv::backend::QueryTier;
+use tkspmv::TopKResult;
+
+use crate::client::{CallError, NodeClient};
+use crate::error::{FabricError, RpcError, ShardFailure};
+use crate::wire::NodeInfo;
+use crate::SparseRow;
+
+/// The replica addresses of one shard group. All replicas serve the
+/// same global row range; one answer covers the group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Node addresses in preference order (primary first).
+    pub replicas: Vec<String>,
+}
+
+impl ShardSpec {
+    /// A group with a single, unreplicated node.
+    pub fn single(addr: impl Into<String>) -> Self {
+        Self {
+            replicas: vec![addr.into()],
+        }
+    }
+
+    /// A replicated group; the first address is the primary.
+    pub fn replicated<I: IntoIterator<Item = S>, S: Into<String>>(addrs: I) -> Self {
+        Self {
+            replicas: addrs.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// What a router does when some — but not all — shards fail a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialPolicy {
+    /// Fail the query with [`FabricError::Partial`]; the coverage report
+    /// rides in the error.
+    Fail,
+    /// Return the merged ranking over the shards that answered; the
+    /// coverage report on the result says what is missing.
+    Allow,
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Total per-query budget, connect to merged answer. Must clear
+    /// every node's `max_wait` plus [`RouterConfig::headroom`]
+    /// (validated at [`Router::connect`]).
+    pub deadline: Duration,
+    /// Per-attempt TCP connect budget.
+    pub connect_timeout: Duration,
+    /// How long a replica may stay silent before the next replica is
+    /// also asked (hedging). `None` divides the deadline evenly across
+    /// the group's replicas.
+    pub hedge_after: Option<Duration>,
+    /// Behaviour when shards fail (see [`PartialPolicy`]).
+    pub partial: PartialPolicy,
+    /// Pooled connections kept per replica; calls beyond the pool open
+    /// transient connections.
+    pub pool_slots: usize,
+    /// Required deadline margin above the slowest node's `max_wait` —
+    /// the transport + execution budget. Size it to cover the node's
+    /// p99 service time.
+    pub headroom: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(1),
+            hedge_after: None,
+            partial: PartialPolicy::Fail,
+            pool_slots: 4,
+            headroom: Duration::from_millis(50),
+        }
+    }
+}
+
+/// How one shard group fared in a fan-out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardOutcome {
+    /// The group answered; `replica` is the index that won.
+    Answered {
+        /// Index into the group's replica list.
+        replica: usize,
+    },
+    /// The group produced no answer.
+    Failed(ShardFailure),
+}
+
+/// Per-shard coverage of one fan-out: which groups answered, and why
+/// the rest did not. Partial results always carry one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    outcomes: Vec<ShardOutcome>,
+}
+
+impl CoverageReport {
+    /// Total shard groups fanned out to.
+    pub fn shards(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Groups that answered.
+    pub fn answered(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, ShardOutcome::Answered { .. }))
+            .count()
+    }
+
+    /// Whether every group answered.
+    pub fn is_complete(&self) -> bool {
+        self.answered() == self.shards()
+    }
+
+    /// Per-group outcomes, in shard order.
+    pub fn outcomes(&self) -> &[ShardOutcome] {
+        &self.outcomes
+    }
+
+    /// The failed groups as `(shard index, failure)`.
+    pub fn failures(&self) -> Vec<(usize, &ShardFailure)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match o {
+                ShardOutcome::Failed(f) => Some((i, f)),
+                ShardOutcome::Answered { .. } => None,
+            })
+            .collect()
+    }
+}
+
+/// A routed answer: the merged ranking plus the coverage that produced
+/// it. Under [`PartialPolicy::Allow`] the ranking may cover a subset of
+/// shards — always check [`CoverageReport::is_complete`] before trusting
+/// it as global.
+#[derive(Debug, Clone)]
+pub struct RoutedResult {
+    /// The merged ranking, global row ids, engine total order.
+    pub topk: TopKResult,
+    /// Which shards contributed.
+    pub coverage: CoverageReport,
+}
+
+/// A pooled connection slot set for one replica.
+struct ReplicaPool {
+    addr: String,
+    slots: Vec<Mutex<Option<NodeClient>>>,
+}
+
+impl ReplicaPool {
+    fn new(addr: String, slots: usize) -> Self {
+        Self {
+            addr,
+            slots: (0..slots.max(1)).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Runs `f` over a pooled connection, opening one if needed; when
+    /// every slot is busy a transient connection is used instead, so
+    /// calls never queue behind each other. A wire failure poisons the
+    /// pooled connection (it is dropped, to be re-dialled next call).
+    fn call<T>(
+        &self,
+        connect_timeout: Duration,
+        f: impl FnOnce(&mut NodeClient) -> Result<T, CallError>,
+    ) -> Result<T, CallError> {
+        for slot in &self.slots {
+            let Ok(mut guard) = slot.try_lock() else {
+                continue;
+            };
+            if guard.is_none() {
+                *guard = Some(NodeClient::connect(self.addr.as_str(), connect_timeout)?);
+            }
+            let result = f(guard.as_mut().expect("slot filled above"));
+            if matches!(result, Err(CallError::Wire(_))) {
+                *guard = None;
+            }
+            return result;
+        }
+        let mut client = NodeClient::connect(self.addr.as_str(), connect_timeout)?;
+        f(&mut client)
+    }
+}
+
+struct ShardGroup {
+    pools: Vec<Arc<ReplicaPool>>,
+    info: NodeInfo,
+}
+
+/// The fan-out router over a set of shard groups.
+pub struct Router {
+    shards: Arc<Vec<ShardGroup>>,
+    config: RouterConfig,
+    dim: usize,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("shards", &self.shards.len())
+            .field("dim", &self.dim)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Router {
+    /// Connects to every shard group's primary (falling back through
+    /// replicas), validates the fleet, and builds the router.
+    ///
+    /// Validation, all with typed [`FabricError::InvalidConfig`]:
+    /// at least one shard; equal dimensions; strictly increasing,
+    /// contiguous global row ranges; and the deadline-budget contract —
+    /// `deadline > max_wait + headroom` for the slowest node, so a lone
+    /// query on an idle cluster cannot be timed out by its own batcher.
+    pub fn connect(specs: Vec<ShardSpec>, config: RouterConfig) -> Result<Self, FabricError> {
+        if specs.is_empty() {
+            return Err(FabricError::invalid_config("no shard groups configured"));
+        }
+        let mut shards = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            if spec.replicas.is_empty() {
+                return Err(FabricError::invalid_config(format!(
+                    "shard group {i} has no replicas"
+                )));
+            }
+            let pools: Vec<Arc<ReplicaPool>> = spec
+                .replicas
+                .iter()
+                .map(|addr| Arc::new(ReplicaPool::new(addr.clone(), config.pool_slots)))
+                .collect();
+            let mut info = None;
+            let mut last_err: Option<CallError> = None;
+            for pool in &pools {
+                match pool.call(config.connect_timeout, |c| c.info(config.deadline)) {
+                    Ok(i) => {
+                        info = Some(i);
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            let info = match info {
+                Some(info) => info,
+                None => {
+                    return Err(match last_err {
+                        Some(CallError::Wire(e)) => FabricError::Wire(e),
+                        Some(CallError::Rpc(e)) => FabricError::Rpc(e),
+                        None => FabricError::invalid_config(format!(
+                            "shard group {i}: no replica reachable"
+                        )),
+                    })
+                }
+            };
+            shards.push(ShardGroup { pools, info });
+        }
+        shards.sort_by_key(|s| s.info.start_row);
+
+        let dim = shards[0].info.dim;
+        let mut expected_start = shards[0].info.start_row;
+        let mut slowest_wait = Duration::ZERO;
+        for (i, s) in shards.iter().enumerate() {
+            if s.info.dim != dim {
+                return Err(FabricError::invalid_config(format!(
+                    "shard group {i} has dimension {} but the fleet serves {dim}",
+                    s.info.dim
+                )));
+            }
+            if s.info.start_row != expected_start {
+                return Err(FabricError::invalid_config(format!(
+                    "shard group {i} starts at row {} but the previous group ends at {expected_start} \
+                     (row ranges must be contiguous and non-overlapping)",
+                    s.info.start_row
+                )));
+            }
+            expected_start += s.info.total_rows();
+            slowest_wait = slowest_wait.max(Duration::from_micros(s.info.max_wait_micros));
+        }
+        let floor = slowest_wait + config.headroom;
+        if config.deadline <= floor {
+            return Err(FabricError::invalid_config(format!(
+                "deadline {:?} does not clear the deadline budget: the slowest node batches up to \
+                 {slowest_wait:?} (its max_wait) before a lone query even executes, and {:?} of \
+                 headroom must remain for transport and execution; set deadline > {floor:?}",
+                config.deadline, config.headroom
+            )));
+        }
+
+        Ok(Self {
+            shards: Arc::new(shards),
+            config,
+            dim: dim as usize,
+        })
+    }
+
+    /// Shard group count.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Embedding dimension the fleet serves.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total rows across the fleet, as of the last info refresh.
+    pub fn total_rows(&self) -> u64 {
+        self.shards.iter().map(|s| s.info.total_rows()).sum()
+    }
+
+    /// The configured per-query deadline.
+    pub fn deadline(&self) -> Duration {
+        self.config.deadline
+    }
+
+    /// Fans `x` out to every shard group and merges the top `k` under
+    /// the engine total order.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::NoCoverage`] if every group failed;
+    /// [`FabricError::Partial`] if some failed under
+    /// [`PartialPolicy::Fail`]. Under [`PartialPolicy::Allow`] a partial
+    /// answer is `Ok` and its [`CoverageReport`] names the gaps.
+    pub fn query(&self, x: &[f32], k: usize, tier: QueryTier) -> Result<RoutedResult, FabricError> {
+        let start = Instant::now();
+        let (tx, rx) = mpsc::channel::<(usize, Result<(usize, Vec<(u32, f64)>), ShardFailure>)>();
+        for (index, _) in self.shards.iter().enumerate() {
+            let tx = tx.clone();
+            let shards = Arc::clone(&self.shards);
+            let config = self.config.clone();
+            let x = x.to_vec();
+            std::thread::Builder::new()
+                .name(format!("tkspmv-router-s{index}"))
+                .spawn(move || {
+                    let outcome = query_shard(&shards[index], &x, k, tier, &config, start);
+                    let _ = tx.send((index, outcome));
+                })
+                .expect("spawn router fan-out thread");
+        }
+        drop(tx);
+
+        let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; self.shards.len()];
+        let mut pairs: Vec<(u32, f64)> = Vec::new();
+        let mut pending = self.shards.len();
+        // The shard threads enforce the deadline themselves; the grace
+        // covers their bounded connect/teardown slack so a wedged thread
+        // can never wedge the router.
+        let grace = self.config.connect_timeout + Duration::from_millis(250);
+        while pending > 0 {
+            let budget = (self.config.deadline + grace).saturating_sub(start.elapsed());
+            match rx.recv_timeout(budget.max(Duration::from_millis(1))) {
+                Ok((index, Ok((replica, entries)))) => {
+                    pairs.extend(entries);
+                    outcomes[index] = Some(ShardOutcome::Answered { replica });
+                    pending -= 1;
+                }
+                Ok((index, Err(failure))) => {
+                    outcomes[index] = Some(ShardOutcome::Failed(failure));
+                    pending -= 1;
+                }
+                Err(_) => break,
+            }
+        }
+        let coverage = CoverageReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.unwrap_or(ShardOutcome::Failed(ShardFailure::DeadlineExceeded)))
+                .collect(),
+        };
+
+        if coverage.answered() == 0 {
+            return Err(FabricError::NoCoverage { coverage });
+        }
+        if !coverage.is_complete() && self.config.partial == PartialPolicy::Fail {
+            return Err(FabricError::Partial { coverage });
+        }
+        Ok(RoutedResult {
+            topk: TopKResult::merge_pairs_dedup(pairs, k),
+            coverage,
+        })
+    }
+
+    /// Appends rows to the fleet's tail shard group (the one serving the
+    /// highest row range — the only place appends keep global ids
+    /// contiguous). Every replica of the group must admit the rows with
+    /// the same ids; the ids are returned.
+    pub fn append(&self, rows: &[SparseRow]) -> Result<Vec<u32>, FabricError> {
+        let tail = self.shards.last().expect("validated non-empty");
+        let mut agreed: Option<Vec<u32>> = None;
+        for pool in &tail.pools {
+            let ids = pool
+                .call(self.config.connect_timeout, |c| {
+                    c.append(rows, self.config.deadline)
+                })
+                .map_err(|e| match e {
+                    CallError::Wire(w) => FabricError::Wire(w),
+                    CallError::Rpc(r) => FabricError::Rpc(r),
+                })?;
+            match &agreed {
+                None => agreed = Some(ids),
+                Some(prev) if *prev == ids => {}
+                Some(prev) => {
+                    return Err(FabricError::Rpc(RpcError::Internal {
+                        detail: format!(
+                            "replica id divergence on append: {:?} vs {:?} — replicas of a \
+                             group must see appends in the same order",
+                            prev, ids
+                        ),
+                    }))
+                }
+            }
+        }
+        Ok(agreed.expect("validated non-empty replica set"))
+    }
+
+    /// Asks every node in the fleet to fold its delta shard now.
+    /// Returns `(epoch, folded)` per shard group (from the primary).
+    pub fn compact_all(&self) -> Result<Vec<(u64, u64)>, FabricError> {
+        let mut results = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            let mut first = None;
+            for pool in &shard.pools {
+                let r = pool
+                    .call(self.config.connect_timeout, |c| {
+                        c.compact(self.config.deadline)
+                    })
+                    .map_err(|e| match e {
+                        CallError::Wire(w) => FabricError::Wire(w),
+                        CallError::Rpc(r) => FabricError::Rpc(r),
+                    })?;
+                if first.is_none() {
+                    first = Some(r);
+                }
+            }
+            results.push(first.expect("validated non-empty replica set"));
+        }
+        Ok(results)
+    }
+}
+
+/// What one replica attempt sends back: its index and the entries it
+/// ranked, or the typed call failure.
+type AttemptResult = (usize, Result<Vec<(u32, f64)>, CallError>);
+
+/// Queries one shard group under the router deadline: primary first,
+/// hedging to the next replica after a stagger (or immediately on
+/// failure), first success wins. Never blocks past the deadline.
+fn query_shard(
+    shard: &ShardGroup,
+    x: &[f32],
+    k: usize,
+    tier: QueryTier,
+    config: &RouterConfig,
+    start: Instant,
+) -> Result<(usize, Vec<(u32, f64)>), ShardFailure> {
+    let n = shard.pools.len();
+    let stagger = config
+        .hedge_after
+        .unwrap_or_else(|| config.deadline / (n as u32));
+    let (tx, rx) = mpsc::channel::<AttemptResult>();
+
+    let launch = |replica: usize, tx: &mpsc::Sender<AttemptResult>| {
+        let pool = Arc::clone(&shard.pools[replica]);
+        let tx = tx.clone();
+        let x = x.to_vec();
+        let connect_timeout = config.connect_timeout;
+        let remaining = config
+            .deadline
+            .saturating_sub(start.elapsed())
+            .max(Duration::from_millis(1));
+        std::thread::Builder::new()
+            .name("tkspmv-router-attempt".to_string())
+            .spawn(move || {
+                let result = pool.call(connect_timeout, |c| c.query(&x, k, tier, remaining));
+                let _ = tx.send((replica, result));
+            })
+            .expect("spawn attempt thread");
+    };
+
+    launch(0, &tx);
+    let mut launched = 1usize;
+    let mut finished = 0usize;
+    let mut saw_timeout = false;
+    let mut attempts: Vec<String> = Vec::new();
+    let mut last_rpc: Option<RpcError> = None;
+
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= config.deadline {
+            return Err(
+                if saw_timeout || last_rpc.is_none() && attempts.is_empty() {
+                    ShardFailure::DeadlineExceeded
+                } else if let Some(e) = last_rpc {
+                    ShardFailure::Rpc(e)
+                } else {
+                    ShardFailure::Unreachable { attempts }
+                },
+            );
+        }
+        // Wake for whichever comes first: an attempt result, the next
+        // hedge launch, or the deadline.
+        let until_deadline = config.deadline - elapsed;
+        let until_hedge = if launched < n {
+            stagger
+                .checked_mul(launched as u32)
+                .unwrap_or(until_deadline)
+                .saturating_sub(elapsed)
+        } else {
+            until_deadline
+        };
+        match rx.recv_timeout(
+            until_hedge
+                .min(until_deadline)
+                .max(Duration::from_millis(1)),
+        ) {
+            Ok((replica, Ok(entries))) => return Ok((replica, entries)),
+            Ok((_, Err(e))) => {
+                finished += 1;
+                match e {
+                    CallError::Rpc(rpc) => last_rpc = Some(rpc),
+                    CallError::Wire(w) => {
+                        if w.is_timeout() {
+                            saw_timeout = true;
+                        }
+                        attempts.push(w.to_string());
+                    }
+                }
+                if launched < n {
+                    // Fail over immediately; don't wait for the stagger.
+                    launch(launched, &tx);
+                    launched += 1;
+                } else if finished == launched {
+                    return Err(if let Some(e) = last_rpc {
+                        ShardFailure::Rpc(e)
+                    } else if saw_timeout {
+                        ShardFailure::DeadlineExceeded
+                    } else {
+                        ShardFailure::Unreachable { attempts }
+                    });
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if launched < n && start.elapsed() >= stagger * (launched as u32) {
+                    launch(launched, &tx);
+                    launched += 1;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // All attempt threads gone without a success.
+                return Err(if let Some(e) = last_rpc {
+                    ShardFailure::Rpc(e)
+                } else if saw_timeout {
+                    ShardFailure::DeadlineExceeded
+                } else {
+                    ShardFailure::Unreachable { attempts }
+                });
+            }
+        }
+    }
+}

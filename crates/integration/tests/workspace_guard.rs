@@ -20,6 +20,7 @@ const WORKSPACE_MANAGED: &[&str] = &[
     "tkspmv_hw",
     "tkspmv_baselines",
     "tkspmv_serve",
+    "tkspmv_fabric",
     "tkspmv_eval",
     "tkspmv_bench",
     "proptest",
@@ -83,8 +84,8 @@ fn member_manifests() -> Vec<PathBuf> {
     }
     assert_eq!(
         found.len(),
-        11,
-        "expected 11 member manifests, got {found:?}"
+        12,
+        "expected 12 member manifests, got {found:?}"
     );
     found
 }
@@ -138,6 +139,8 @@ fn dependency_dag_is_acyclic_and_layered() {
         ("tkspmv_baselines", "tkspmv_eval"),
         ("tkspmv_eval", "tkspmv_bench"),
         ("tkspmv_serve", "tkspmv_bench"),
+        ("tkspmv_serve", "tkspmv_fabric"),
+        ("tkspmv_fabric", "tkspmv_bench"),
     ] {
         assert!(
             position[lower] < position[upper],

@@ -773,6 +773,24 @@ impl TopKService {
         self.inner.current_epoch().id
     }
 
+    /// The micro-batching policy the service was built with.
+    ///
+    /// Embedding layers (an RPC node wrapping this service) publish it so
+    /// *their* callers can budget deadlines correctly: a lone request may
+    /// legitimately sit the full `max_wait` in the batcher before it ever
+    /// reaches a backend, so any deadline stacked on top of the service
+    /// must exceed `max_wait` plus expected execution time — otherwise
+    /// idle traffic times out spuriously.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.inner.policy
+    }
+
+    /// The bounded submission-queue capacity (submissions beyond it shed
+    /// with [`ServeError::QueueFull`]).
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.queue_capacity
+    }
+
     /// Hot-swaps the served collection to `csr` under live traffic —
     /// the rolling-update primitive: re-prepare the new collection's
     /// shards (the expensive part, done before anything changes), then
@@ -1417,6 +1435,8 @@ mod tests {
         assert_eq!(svc.dim(), 64);
         assert_eq!(svc.num_rows(), 64);
         assert_eq!(svc.num_shards(), 4);
+        assert_eq!(svc.batch_policy(), BatchPolicy::immediate());
+        assert_eq!(svc.queue_capacity(), 1024);
     }
 
     #[test]

@@ -266,6 +266,77 @@ impl Csr {
         out
     }
 
+    /// Returns a new matrix with `rows` appended after the existing
+    /// ones — the delta-shard fold: a serving tier that accumulated
+    /// freshly ingested rows in an append-only side shard compacts them
+    /// into the base collection by re-encoding `base.append_rows(delta)`.
+    ///
+    /// Each row is a `(col_idx, values)` pair whose columns must be
+    /// strictly increasing (CSR row order) and in bounds; appended rows
+    /// keep their entry order, so the folded matrix scores them with
+    /// exactly the arithmetic (`f64` accumulation in column order) an
+    /// exact engine used while they were still delta rows.
+    ///
+    /// # Errors
+    ///
+    /// [`SparseError::IndexOutOfBounds`] for an out-of-range column,
+    /// [`SparseError::DuplicateEntry`] for a repeated or unsorted column
+    /// within one appended row, [`SparseError::DimensionTooLarge`] if the
+    /// result would exceed `u32` row indexing.
+    pub fn append_rows(&self, rows: &[(Vec<u32>, Vec<f32>)]) -> Result<Csr, SparseError> {
+        let new_rows = self.num_rows + rows.len();
+        if new_rows > u32::MAX as usize {
+            return Err(SparseError::DimensionTooLarge {
+                detail: format!("{new_rows} rows exceed u32 row indexing"),
+            });
+        }
+        let mut row_ptr = Vec::with_capacity(new_rows + 1);
+        row_ptr.extend_from_slice(&self.row_ptr);
+        let extra_nnz: usize = rows.iter().map(|(c, _)| c.len()).sum();
+        let mut col_idx = Vec::with_capacity(self.col_idx.len() + extra_nnz);
+        col_idx.extend_from_slice(&self.col_idx);
+        let mut values = Vec::with_capacity(self.values.len() + extra_nnz);
+        values.extend_from_slice(&self.values);
+        for (r, (cols, vals)) in rows.iter().enumerate() {
+            let row = self.num_rows + r;
+            if cols.len() != vals.len() {
+                return Err(SparseError::MalformedRowPtr {
+                    detail: format!(
+                        "appended row {row} has {} columns but {} values",
+                        cols.len(),
+                        vals.len()
+                    ),
+                });
+            }
+            for (i, &c) in cols.iter().enumerate() {
+                if c as usize >= self.num_cols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row,
+                        col: c as usize,
+                        num_rows: new_rows,
+                        num_cols: self.num_cols,
+                    });
+                }
+                if i > 0 && cols[i - 1] >= c {
+                    return Err(SparseError::DuplicateEntry {
+                        row,
+                        col: c as usize,
+                    });
+                }
+            }
+            col_idx.extend_from_slice(cols);
+            values.extend_from_slice(vals);
+            row_ptr.push(col_idx.len() as u64);
+        }
+        Ok(Csr::from_parts_unchecked(
+            new_rows,
+            self.num_cols,
+            row_ptr,
+            col_idx,
+            values,
+        ))
+    }
+
     /// Converts to COO (entries already sorted by construction).
     pub fn to_coo(&self) -> Coo {
         let triplets: Vec<(u32, u32, f32)> = (0..self.num_rows)
@@ -392,6 +463,61 @@ mod tests {
         let parts = m.partition_rows(1);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].1, m);
+    }
+
+    #[test]
+    fn append_rows_folds_delta_rows_in_order() {
+        let m = sample();
+        let delta = vec![
+            (vec![1u32, 3], vec![7.0f32, 8.0]),
+            (vec![], vec![]),
+            (vec![0u32], vec![9.0]),
+        ];
+        let folded = m.append_rows(&delta).unwrap();
+        assert_eq!(folded.num_rows(), 7);
+        assert_eq!(folded.num_cols(), 4);
+        assert_eq!(folded.nnz(), m.nnz() + 3);
+        // Old rows untouched.
+        for r in 0..m.num_rows() {
+            assert_eq!(
+                folded.row(r).collect::<Vec<_>>(),
+                m.row(r).collect::<Vec<_>>()
+            );
+        }
+        // New rows in append order, entries in column order.
+        assert_eq!(folded.row(4).collect::<Vec<_>>(), vec![(1, 7.0), (3, 8.0)]);
+        assert_eq!(folded.row_nnz(5), 0);
+        assert_eq!(folded.row(6).collect::<Vec<_>>(), vec![(0, 9.0)]);
+        // Scores of folded rows equal a by-hand dot in the same order.
+        let y = folded.spmv_exact(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y[4], 7.0 * 2.0 + 8.0 * 4.0);
+        assert_eq!(y[6], 9.0);
+    }
+
+    #[test]
+    fn append_rows_validates_hostile_rows() {
+        let m = sample();
+        // Out-of-range column.
+        assert!(matches!(
+            m.append_rows(&[(vec![4], vec![1.0])]),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        // Unsorted and duplicate columns.
+        assert!(matches!(
+            m.append_rows(&[(vec![2, 1], vec![1.0, 2.0])]),
+            Err(SparseError::DuplicateEntry { .. })
+        ));
+        assert!(matches!(
+            m.append_rows(&[(vec![1, 1], vec![1.0, 2.0])]),
+            Err(SparseError::DuplicateEntry { .. })
+        ));
+        // Mismatched lengths.
+        assert!(matches!(
+            m.append_rows(&[(vec![1], vec![])]),
+            Err(SparseError::MalformedRowPtr { .. })
+        ));
+        // Empty delta is the identity.
+        assert_eq!(m.append_rows(&[]).unwrap(), m);
     }
 
     #[test]
