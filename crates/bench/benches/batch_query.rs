@@ -1,11 +1,18 @@
 //! Batched vs sequential query throughput through the `TopKBackend`
-//! trait (the acceptance check for the batched-query API).
+//! trait, swept over batch size — the acceptance bench for the
+//! matrix-major (decode-once) batch engine.
 //!
-//! Sequential issues 64 single `query` calls; batched answers the same
-//! 64 queries with one `query_batch` call, which quantises with a single
-//! precision dispatch and keeps each channel's BS-CSR partition resident
-//! in its worker thread across the whole batch. Results are identical —
-//! only the host-side walltime differs.
+//! For each B in the sweep, `sequential/B` issues B single `query`
+//! calls and `batched/B` answers the same B queries with one
+//! `query_batch` call. The batched path decodes each BS-CSR packet of
+//! the resident partitions **once** and accumulates it into all B query
+//! trackers before advancing, so its per-query cost falls as B grows
+//! while the sequential path pays the full decode every time. Results
+//! are bit-identical — only the host-side walltime differs.
+//!
+//! The collection is the ≥1M-nnz packet stream that
+//! `BENCH_hotpath.json` tracks (same shape as `engine.rs`'s
+//! `large_matrix`).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tkspmv::backend::{QueryBatch, TopKBackend};
@@ -13,23 +20,25 @@ use tkspmv::Accelerator;
 use tkspmv_sparse::gen::{NnzDistribution, SyntheticConfig};
 use tkspmv_sparse::Csr;
 
-const BATCH: usize = 64;
-const DIM: usize = 512;
+const DIM: usize = 1024;
 const K: usize = 100;
+const SWEEP: [usize; 5] = [1, 4, 8, 16, 32];
 
+/// A ≥1M-nnz collection: the steady-state packet-stream workload.
 fn collection() -> Csr {
     SyntheticConfig {
-        num_rows: 20_000,
+        num_rows: 52_000,
         num_cols: DIM,
         avg_nnz_per_row: 20,
-        distribution: NnzDistribution::Uniform,
-        seed: 42,
+        distribution: NnzDistribution::table3_gamma(),
+        seed: 7,
     }
     .generate()
 }
 
-fn batch_vs_sequential(c: &mut Criterion) {
+fn batch_sweep(c: &mut Criterion) {
     let csr = collection();
+    assert!(csr.nnz() >= 1_000_000, "bench collection must be >= 1M nnz");
     let acc = Accelerator::builder()
         .cores(32)
         .k(8)
@@ -37,28 +46,30 @@ fn batch_vs_sequential(c: &mut Criterion) {
         .expect("builds");
     let backend: &dyn TopKBackend = &acc;
     let prepared = backend.prepare(&csr).expect("prepares");
-    let batch = QueryBatch::random(BATCH, DIM, 7);
 
     let mut group = c.benchmark_group("batch_query");
-    group.throughput(Throughput::Elements(BATCH as u64));
-    group.bench_function(format!("sequential/{BATCH}"), |b| {
-        b.iter(|| {
-            batch
-                .iter()
-                .map(|x| backend.query(&prepared, x, K).expect("query").topk.len())
-                .sum::<usize>()
-        })
-    });
-    group.bench_function(format!("batched/{BATCH}"), |b| {
-        b.iter(|| {
-            backend
-                .query_batch(&prepared, &batch, K)
-                .expect("batch")
-                .len()
-        })
-    });
+    for b_size in SWEEP {
+        let batch = QueryBatch::random(b_size, DIM, 7);
+        group.throughput(Throughput::Elements(b_size as u64));
+        group.bench_function(format!("sequential/{b_size}"), |b| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|x| backend.query(&prepared, x, K).expect("query").topk.len())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_function(format!("batched/{b_size}"), |b| {
+            b.iter(|| {
+                backend
+                    .query_batch(&prepared, &batch, K)
+                    .expect("batch")
+                    .len()
+            })
+        });
+    }
     group.finish();
 }
 
-criterion_group!(benches, batch_vs_sequential);
+criterion_group!(benches, batch_sweep);
 criterion_main!(benches);

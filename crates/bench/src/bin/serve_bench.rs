@@ -45,6 +45,10 @@ struct Measurement {
     p50_us: u128,
     p99_us: u128,
     mean_batch: f64,
+    /// Mean backend time per dispatched batch — the engine's share of
+    /// each batch, isolated from queue wait (the batch-size blind spot
+    /// end-to-end percentiles can't show).
+    engine_per_batch_us: u128,
 }
 
 fn measure(
@@ -99,6 +103,7 @@ fn measure(
         p50_us: metrics.latency_p50.as_micros(),
         p99_us: metrics.latency_p99.as_micros(),
         mean_batch: metrics.mean_batch_size,
+        engine_per_batch_us: metrics.mean_engine_time_per_batch.as_micros(),
     }
 }
 
@@ -111,8 +116,8 @@ fn main() {
         csr.nnz()
     );
     println!(
-        "{:<12} {:>8} {:>14} {:>10} {:>10} {:>11}",
-        "policy", "clients", "qps", "p50 (us)", "p99 (us)", "mean batch"
+        "{:<12} {:>8} {:>14} {:>10} {:>10} {:>11} {:>16}",
+        "policy", "clients", "qps", "p50 (us)", "p99 (us)", "mean batch", "engine/batch us"
     );
     let mut all = Vec::new();
     for (name, policy) in [
@@ -125,8 +130,14 @@ fn main() {
         for clients in CLIENTS {
             let m = measure(&csr, name, policy, clients);
             println!(
-                "{:<12} {:>8} {:>14.1} {:>10} {:>10} {:>11.2}",
-                m.policy, m.clients, m.throughput_qps, m.p50_us, m.p99_us, m.mean_batch
+                "{:<12} {:>8} {:>14.1} {:>10} {:>10} {:>11.2} {:>16}",
+                m.policy,
+                m.clients,
+                m.throughput_qps,
+                m.p50_us,
+                m.p99_us,
+                m.mean_batch,
+                m.engine_per_batch_us
             );
             all.push(m);
         }
@@ -138,8 +149,14 @@ fn main() {
     for (i, m) in all.iter().enumerate() {
         let comma = if i + 1 == all.len() { "" } else { "," };
         println!(
-            "  {{\"policy\": \"{}\", \"clients\": {}, \"throughput_qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"mean_batch_size\": {:.2}}}{comma}",
-            m.policy, m.clients, m.throughput_qps, m.p50_us, m.p99_us, m.mean_batch
+            "  {{\"policy\": \"{}\", \"clients\": {}, \"throughput_qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"mean_batch_size\": {:.2}, \"engine_per_batch_us\": {}}}{comma}",
+            m.policy,
+            m.clients,
+            m.throughput_qps,
+            m.p50_us,
+            m.p99_us,
+            m.mean_batch,
+            m.engine_per_batch_us
         );
     }
     println!("]");

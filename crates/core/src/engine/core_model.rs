@@ -46,33 +46,106 @@ pub struct CoreOutput<A> {
     pub stats: CoreStats,
 }
 
-/// Reusable working memory for [`run_core_with_scratch`]: the decoded
-/// packet fields plus the stage-1 product buffer.
-///
-/// Allocate one per worker thread and stream every packet of every
-/// query through it; after the first packet warms the buffer capacities
-/// the steady-state loop performs zero heap allocations per packet
-/// (asserted by the `zero_alloc` integration test), which is what lets
-/// the software model be bandwidth- rather than allocator-bound.
+/// One query's resident state inside a [`BatchScratch`]: its Top-K
+/// scratchpad plus the partial sum of the row left open by the previous
+/// packet.
 #[derive(Debug, Clone)]
-pub struct CoreScratch<A> {
-    /// Decoded packet fields (`row_ends` / `idx` / `val`).
-    packet: PacketScratch,
-    /// Stage-1 point-wise products of the current packet.
-    products: Vec<A>,
+struct QueryLane<S: SpmvScalar> {
+    tracker: TopKTracker<S::Acc>,
+    carry: S::Acc,
 }
 
-impl<A> CoreScratch<A> {
-    /// Creates an empty scratch; the first packet sizes its buffers.
+/// One row segment of the current chunk, precomputed **once** per
+/// chunk of packets and replayed by every query lane: entry range,
+/// destination row, whether the segment starts from the previous
+/// chunk's carry, and whether the finished row is offered to the Top-K
+/// stage (the `r`-limit gate). All of it is a property of the matrix
+/// and the fidelity, never of the query.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: u32,
+    end: u32,
+    row: u32,
+    use_carry: bool,
+    offer: bool,
+}
+
+/// Packets decoded per chunk before the lane sweep. Large enough to
+/// amortise the per-lane loop entry/exit over many packets (and to
+/// merge most cross-packet row segments), small enough that the flat
+/// `dvals`/`cidx` chunk stays inside L1 alongside a query vector.
+const CHUNK_PACKETS: usize = 64;
+
+/// Reusable working memory for [`run_core_batch_with_scratch`]: the
+/// decoded packet fields, the once-per-packet decoded matrix values, and
+/// one resident lane (Top-K tracker + carry) per query in the batch.
+///
+/// Allocate one per worker thread and stream every batch through it.
+/// Lane and output buffers only ever grow to the largest batch size
+/// seen, and every per-packet buffer is capacity-warm after the first
+/// few packets, so the steady-state loop performs zero heap allocations
+/// per packet — *independent of both the packet count and the batch
+/// size* (asserted by the `zero_alloc` integration test). That is what
+/// lets the software model be bandwidth- rather than allocator-bound.
+#[derive(Debug, Clone)]
+pub struct BatchScratch<S: SpmvScalar> {
+    /// Decoded packet fields (`row_ends` / `idx` / `val`).
+    packet: PacketScratch,
+    /// The current chunk's values decoded into the scalar domain —
+    /// computed once per chunk of packets, shared by every query lane.
+    dvals: Vec<S>,
+    /// The current chunk's column indices, flattened across its packets.
+    cidx: Vec<u32>,
+    /// The current chunk's segment program — computed once, replayed by
+    /// every query lane. Rows spanning packets inside the chunk appear
+    /// as one merged segment (the running-sum order is unchanged).
+    segs: Vec<Segment>,
+    /// Per-query resident state; `lanes[..B]` are active, the rest keep
+    /// their warm capacity for a later, larger batch.
+    lanes: Vec<QueryLane<S>>,
+    /// Per-query outputs, reusing each lane's sorted-topk buffer across
+    /// batches.
+    outputs: Vec<CoreOutput<S::Acc>>,
+}
+
+impl<S: SpmvScalar> BatchScratch<S> {
+    /// Creates an empty scratch; the first batch sizes its buffers.
     pub fn new() -> Self {
         Self {
             packet: PacketScratch::new(),
-            products: Vec::new(),
+            dvals: Vec::new(),
+            cidx: Vec::new(),
+            segs: Vec::new(),
+            lanes: Vec::new(),
+            outputs: Vec::new(),
         }
     }
 }
 
-impl<A> Default for CoreScratch<A> {
+impl<S: SpmvScalar> Default for BatchScratch<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reusable working memory for [`run_core_with_scratch`] — a
+/// single-lane [`BatchScratch`], kept as its own type so single-query
+/// call sites keep their simple signature.
+#[derive(Debug, Clone)]
+pub struct CoreScratch<S: SpmvScalar> {
+    batch: BatchScratch<S>,
+}
+
+impl<S: SpmvScalar> CoreScratch<S> {
+    /// Creates an empty scratch; the first packet sizes its buffers.
+    pub fn new() -> Self {
+        Self {
+            batch: BatchScratch::new(),
+        }
+    }
+}
+
+impl<S: SpmvScalar> Default for CoreScratch<S> {
     fn default() -> Self {
         Self::new()
     }
@@ -108,7 +181,9 @@ pub fn run_core<S: SpmvScalar>(
 }
 
 /// [`run_core`] with caller-owned working memory — the steady-state hot
-/// path.
+/// path, implemented as a single-lane [`run_core_batch_with_scratch`]
+/// so there is exactly one accumulation-order implementation to
+/// maintain.
 ///
 /// Identical results to [`run_core`] for any scratch state (each packet
 /// overwrites the scratch completely), but reusing one [`CoreScratch`]
@@ -128,90 +203,178 @@ pub fn run_core_with_scratch<S: SpmvScalar>(
     x: &[S],
     k: usize,
     fidelity: Fidelity,
-    scratch: &mut CoreScratch<S::Acc>,
+    scratch: &mut CoreScratch<S>,
 ) -> CoreOutput<S::Acc> {
-    assert!(
-        x.len() >= matrix.num_cols(),
-        "query vector has {} entries, matrix needs {}",
-        x.len(),
-        matrix.num_cols()
-    );
-    let mut stats = CoreStats::default();
-    let mut tracker = TopKTracker::<S::Acc>::new(k);
+    let outputs = run_core_batch_with_scratch(matrix, &[x], k, fidelity, &mut scratch.batch);
+    // One owned clone per call — constant-size, independent of the
+    // stream length, so the zero-allocation-per-packet property holds.
+    outputs[0].clone()
+}
 
-    // Cross-packet state: the partial sum of the row left unfinished by
-    // the previous packet, and the index of the row currently being
-    // accumulated.
-    let mut carry: S::Acc = S::acc_zero();
+/// Runs one core over a BS-CSR partition for a whole batch of queries
+/// in a single **matrix-major** pass: each packet is decoded into the
+/// scratch **once** and its entries are accumulated into all B query
+/// lanes before the stream advances, instead of replaying the decode
+/// once per query.
+///
+/// The queries stay resident in the [`BatchScratch`] (one Top-K tracker
+/// and carry register per lane — the software picture of B query
+/// vectors resident in URAM while the BS-CSR stream flows past), so the
+/// per-packet field extraction and value decode are paid once and
+/// amortised over the batch.
+///
+/// Results are **bit-identical** to running each query alone: per lane,
+/// the sequence of multiply/accumulate operations and Top-K offers is
+/// exactly the packet-arrival order the single-query loop produces —
+/// the segment structure, carry stitching, and `r`-limit gating depend
+/// only on the matrix, not on the other queries in the batch.
+///
+/// The returned slice borrows the scratch and holds one
+/// [`CoreOutput`] per query, in input order. [`CoreStats`] are
+/// per-query: every field except `topk_accepted` is query-independent
+/// and therefore identical across the batch.
+///
+/// # Panics
+///
+/// Panics if any query is shorter than the matrix's column count or if
+/// `k == 0` (for a non-empty batch).
+pub fn run_core_batch_with_scratch<'s, S: SpmvScalar, Q: AsRef<[S]>>(
+    matrix: &BsCsr,
+    queries: &[Q],
+    k: usize,
+    fidelity: Fidelity,
+    scratch: &'s mut BatchScratch<S>,
+) -> &'s [CoreOutput<S::Acc>] {
+    let b = queries.len();
+    if b == 0 {
+        return &[];
+    }
+    for q in queries {
+        assert!(
+            q.as_ref().len() >= matrix.num_cols(),
+            "query vector has {} entries, matrix needs {}",
+            q.as_ref().len(),
+            matrix.num_cols()
+        );
+    }
+
+    // Activate the first `b` lanes, reusing warm slab capacity; lanes
+    // beyond `b` are left untouched so a later, larger batch finds them
+    // warm again.
+    for lane in scratch.lanes.iter_mut().take(b) {
+        lane.tracker.reset(k);
+        lane.carry = S::acc_zero();
+    }
+    while scratch.lanes.len() < b {
+        scratch.lanes.push(QueryLane {
+            tracker: TopKTracker::new(k),
+            carry: S::acc_zero(),
+        });
+    }
+
+    // Query-independent stream state: stats, the row cursor, and whether
+    // the previous packet left a row open (each lane holds its own carry
+    // *value*, but the carry *structure* is a property of the matrix).
+    let mut shared = CoreStats::default();
     let mut carry_active = false;
     let mut current_row: u32 = 0;
+    let r_limit = match fidelity {
+        Fidelity::Faithful { rows_per_packet } => rows_per_packet,
+        Fidelity::Reference => u32::MAX,
+    };
 
-    for p in 0..matrix.num_packets() {
-        matrix.view_into(p, &mut scratch.packet);
-        let view = &scratch.packet;
-        stats.packets += 1;
-        stats.entries += view.len() as u64;
+    let num_packets = matrix.num_packets();
+    let mut p = 0usize;
+    while p < num_packets {
+        let chunk_end = (p + CHUNK_PACKETS).min(num_packets);
 
-        // Stage 1: point-wise products (the B-wide multiplier array).
-        scratch.products.clear();
-        scratch.products.extend(
-            view.idx
-                .iter()
-                .zip(&view.val)
-                .map(|(&idx, &raw)| S::mul(S::decode(raw), x[idx as usize])),
-        );
-        let products = &scratch.products;
-
-        // Stages 2+3: segmented sums between row ends, carry stitching.
-        debug_assert_eq!(
-            view.new_row, !carry_active,
-            "encoder new_row bit consistent with carry state"
-        );
-        let mut seg_start = 0usize;
-        let mut finished_in_packet = 0u32;
-        for &end in &view.row_ends {
-            let end = end as usize;
-            let mut acc = if seg_start == 0 && !view.new_row {
-                carry
-            } else {
-                S::acc_zero()
-            };
-            for prod in &products[seg_start..end] {
-                acc = S::acc_add(acc, *prod);
+        // Stages 1a+2+3 structure, once per chunk: decode the chunk's
+        // packets into flat `dvals`/`cidx` arrays and build its segment
+        // program (entry ranges, destination rows, carry stitching, `r`
+        // gate). The per-lane loop below only pays the query-dependent
+        // gather-multiply-accumulate. A row spanning packets *inside*
+        // the chunk becomes one merged segment: the sequential path's
+        // carry is just the running sum at the packet boundary, so the
+        // merged accumulation performs the identical operation sequence.
+        scratch.dvals.clear();
+        scratch.cidx.clear();
+        scratch.segs.clear();
+        let mut base = 0u32; // chunk-relative entry offset of the packet
+        let mut seg_open_start = 0u32; // where the next segment begins
+        let mut seg_open_carry = carry_active; // continues pre-chunk row?
+        for pk in p..chunk_end {
+            matrix.view_into(pk, &mut scratch.packet);
+            let view = &scratch.packet;
+            let len = view.len() as u32;
+            shared.packets += 1;
+            shared.entries += len as u64;
+            debug_assert_eq!(
+                view.new_row,
+                !(seg_open_start < base || seg_open_carry),
+                "encoder new_row bit consistent with carry state"
+            );
+            scratch.cidx.extend_from_slice(&view.idx);
+            scratch
+                .dvals
+                .extend(view.val.iter().map(|&raw| S::decode(raw)));
+            let ends_in_packet = view.row_ends.len() as u32;
+            for (n, &end) in view.row_ends.iter().enumerate() {
+                scratch.segs.push(Segment {
+                    start: seg_open_start,
+                    end: base + end,
+                    row: current_row + n as u32,
+                    use_carry: seg_open_carry,
+                    offer: (n as u32) < r_limit,
+                });
+                seg_open_start = base + end;
+                seg_open_carry = false;
             }
-            // Stage 4: Top-K update for the finished row.
-            finished_in_packet += 1;
-            let within_r = match fidelity {
-                Fidelity::Faithful { rows_per_packet } => finished_in_packet <= rows_per_packet,
-                Fidelity::Reference => true,
-            };
-            if within_r {
-                stats.rows_finished += 1;
-                if tracker.insert(current_row, acc) {
-                    stats.topk_accepted += 1;
-                }
-            } else {
-                stats.rows_dropped += 1;
-            }
-            current_row += 1;
-            seg_start = end;
+            let finished = ends_in_packet.min(r_limit);
+            shared.rows_finished += finished as u64;
+            shared.rows_dropped += (ends_in_packet - finished) as u64;
+            current_row += ends_in_packet;
+            base += len;
         }
-        // Unfinished tail: becomes the carry for the next packet.
-        if seg_start < products.len() {
-            let mut acc = if seg_start == 0 && !view.new_row {
-                carry
-            } else {
-                S::acc_zero()
-            };
-            for prod in &products[seg_start..] {
-                acc = S::acc_add(acc, *prod);
-            }
-            carry = acc;
-            carry_active = true;
+        // Entries after the chunk's last row end carry into the next
+        // chunk via each lane's carry register.
+        let tail = if seg_open_start < base || seg_open_carry {
+            Some((seg_open_start as usize, seg_open_carry))
         } else {
-            carry = S::acc_zero();
-            carry_active = false;
+            None
+        };
+        carry_active = tail.is_some();
+
+        let dvals = &scratch.dvals;
+        let idx = &scratch.cidx;
+        let segs = &scratch.segs;
+
+        // Stages 1b+2+3+4 per lane: fused gather-multiply-accumulate
+        // replaying the shared segment program, then the Top-K offer.
+        // Per query the multiply/accumulate order is exactly the
+        // sequential path's packet-arrival order, so sums (including
+        // fixed-point saturation) are bit-identical.
+        //
+        // When the column count is a power of two — the paper's M = 1024
+        // operating point, and the only case where every encodable `idx`
+        // is automatically in range — the gather masks the index instead
+        // of bounds-checking it: identical reads for every valid stream,
+        // no panic path in the inner loop. Other widths keep the checked
+        // gather.
+        if let Some(col_mask) = pow2_col_mask(matrix.num_cols()) {
+            for (lane, q) in scratch.lanes[..b].iter_mut().zip(queries) {
+                let x = &q.as_ref()[..matrix.num_cols()];
+                lane_pass::<S>(lane, x, dvals, idx, segs, tail, |x, i| {
+                    x[i as usize & col_mask]
+                });
+            }
+        } else {
+            for (lane, q) in scratch.lanes[..b].iter_mut().zip(queries) {
+                let x = q.as_ref();
+                lane_pass::<S>(lane, x, dvals, idx, segs, tail, |x, i| x[i as usize]);
+            }
         }
+
+        p = chunk_end;
     }
     debug_assert!(!carry_active, "no row may remain open at end of stream");
 
@@ -223,10 +386,72 @@ pub fn run_core_with_scratch<S: SpmvScalar>(
         "all rows must finish by end of stream"
     );
 
-    CoreOutput {
-        topk: tracker.into_sorted(),
-        stats,
+    while scratch.outputs.len() < b {
+        scratch.outputs.push(CoreOutput {
+            topk: Vec::new(),
+            stats: CoreStats::default(),
+        });
     }
+    for (lane, out) in scratch.lanes[..b].iter().zip(&mut scratch.outputs[..b]) {
+        lane.tracker.write_sorted_into(&mut out.topk);
+        out.stats = CoreStats {
+            topk_accepted: lane.tracker.accepted(),
+            ..shared
+        };
+    }
+    &scratch.outputs[..b]
+}
+
+/// `num_cols - 1` when the column count is a power of two (so masking an
+/// in-range index is the identity), else `None`.
+#[inline(always)]
+fn pow2_col_mask(num_cols: usize) -> Option<usize> {
+    (num_cols.is_power_of_two()).then(|| num_cols - 1)
+}
+
+/// Replays the shared segment program of one packet for one query lane:
+/// fused gather-multiply-accumulate per segment, Top-K offer for rows
+/// the `r` gate admits, carry update from the tail.
+///
+/// `gather` is the `x[idx]` read, parameterised so the power-of-two
+/// column case monomorphises to a masked (panic-free) load while the
+/// general case keeps the bounds check.
+#[inline(always)]
+fn lane_pass<S: SpmvScalar>(
+    lane: &mut QueryLane<S>,
+    x: &[S],
+    dvals: &[S],
+    idx: &[u32],
+    segs: &[Segment],
+    tail: Option<(usize, bool)>,
+    gather: impl Fn(&[S], u32) -> S,
+) {
+    for seg in segs {
+        let mut acc = if seg.use_carry {
+            lane.carry
+        } else {
+            S::acc_zero()
+        };
+        for (&d, &i) in dvals[seg.start as usize..seg.end as usize]
+            .iter()
+            .zip(&idx[seg.start as usize..seg.end as usize])
+        {
+            acc = S::acc_add(acc, S::mul(d, gather(x, i)));
+        }
+        if seg.offer {
+            lane.tracker.insert(seg.row, acc);
+        }
+    }
+    lane.carry = match tail {
+        Some((start, use_carry)) => {
+            let mut acc = if use_carry { lane.carry } else { S::acc_zero() };
+            for (&d, &i) in dvals[start..].iter().zip(&idx[start..]) {
+                acc = S::acc_add(acc, S::mul(d, gather(x, i)));
+            }
+            acc
+        }
+        None => S::acc_zero(),
+    };
 }
 
 /// Quantises a dense query vector into the scalar domain `S` — the URAM

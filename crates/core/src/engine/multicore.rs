@@ -3,7 +3,7 @@
 use tkspmv_fixed::SpmvScalar;
 use tkspmv_sparse::BsCsr;
 
-use super::core_model::{run_core_with_scratch, CoreScratch, CoreStats, Fidelity};
+use super::core_model::{run_core_batch_with_scratch, BatchScratch, CoreStats, Fidelity};
 use crate::topk::TopKResult;
 
 /// Output of a multi-core run: the merged approximate Top-K plus
@@ -42,58 +42,34 @@ pub fn run_multicore<S: SpmvScalar>(
     big_k: usize,
     fidelity: Fidelity,
 ) -> MulticoreOutput {
-    assert!(!partitions.is_empty(), "need at least one partition");
-    assert!(
-        k * partitions.len() >= big_k,
-        "k*c = {} cannot cover K = {big_k}",
-        k * partitions.len()
-    );
-
-    let outputs: Vec<(Vec<(u32, f64)>, CoreStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .iter()
-            .map(|(first_row, part)| {
-                scope.spawn(move || {
-                    let mut scratch = CoreScratch::new();
-                    let out = run_core_with_scratch::<S>(part, x, k, fidelity, &mut scratch);
-                    let globalised: Vec<(u32, f64)> = out
-                        .topk
-                        .into_iter()
-                        .map(|(local, acc)| (local + *first_row as u32, S::acc_to_f64(acc)))
-                        .collect();
-                    (globalised, out.stats)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("core thread panicked"))
-            .collect()
-    });
-
-    let core_stats: Vec<CoreStats> = outputs.iter().map(|(_, s)| *s).collect();
-    let max_packets_per_core = core_stats.iter().map(|s| s.packets).max().unwrap_or(0);
-    let merged = TopKResult::merge_pairs(outputs.into_iter().flat_map(|(pairs, _)| pairs), big_k);
-    MulticoreOutput {
-        topk: merged,
-        core_stats,
-        max_packets_per_core,
-    }
+    // Delegate to the batch engine with B = 1: one accumulation-order
+    // implementation to maintain, one place for future SIMD work.
+    run_multicore_impl(partitions, &[x], k, big_k, fidelity)
+        .pop()
+        .expect("a single-query batch yields exactly one output")
 }
 
 /// Runs a batch of queries over the same partitioned matrix, one
 /// [`MulticoreOutput`] per query, in input order.
 ///
-/// Where [`run_multicore`] spawns one thread per partition *per query*,
-/// this path spawns each partition's thread once and streams **every**
-/// query through it before joining. That mirrors the hardware (the
-/// BS-CSR stream stays resident in its HBM channel while queries are
-/// swapped through URAM) and amortises thread setup and partition
-/// traversal across the batch, so a 64-query batch is markedly cheaper
-/// than 64 sequential [`run_multicore`] calls.
+/// This is the **matrix-major** loop: each partition thread is spawned
+/// once per batch and makes **one pass** over its packet stream,
+/// decoding every BS-CSR packet into its scratch exactly once and
+/// accumulating the decoded entries into all B resident query lanes
+/// before advancing (see
+/// [`run_core_batch_with_scratch`](crate::run_core_batch_with_scratch)).
+/// That mirrors the hardware — the BS-CSR stream stays resident in its
+/// HBM channel while B query vectors sit in URAM — and amortises packet
+/// field extraction, value decode, thread setup, and partition traversal
+/// across the batch. The per-query cost therefore falls toward the pure
+/// multiply-accumulate floor as B grows, where the query-major
+/// formulation (B full decode passes per partition) paid the decode
+/// every time.
 ///
-/// Results are element-wise identical to running each query alone: cores
-/// are independent and carry no state between queries.
+/// Results are **bit-identical** to running each query alone: per
+/// query, multiplies, accumulations, and Top-K offers happen in the
+/// same packet-arrival order as the sequential path, and cores carry no
+/// state between queries.
 ///
 /// # Panics
 ///
@@ -102,6 +78,19 @@ pub fn run_multicore<S: SpmvScalar>(
 pub fn run_multicore_batch<S: SpmvScalar>(
     partitions: &[(usize, BsCsr)],
     queries: &[Vec<S>],
+    k: usize,
+    big_k: usize,
+    fidelity: Fidelity,
+) -> Vec<MulticoreOutput> {
+    run_multicore_impl(partitions, queries, k, big_k, fidelity)
+}
+
+/// Shared implementation behind [`run_multicore`] (B = 1) and
+/// [`run_multicore_batch`]: one thread per partition, one matrix-major
+/// pass over each partition's packets per batch.
+fn run_multicore_impl<S: SpmvScalar, Q: AsRef<[S]> + Sync>(
+    partitions: &[(usize, BsCsr)],
+    queries: &[Q],
     k: usize,
     big_k: usize,
     fidelity: Fidelity,
@@ -117,25 +106,27 @@ pub fn run_multicore_batch<S: SpmvScalar>(
     }
 
     // `per_partition[p][q]` = partition p's globalised top-k and stats
-    // for query q. Each partition thread owns one CoreScratch and
-    // streams the whole batch through it, so the steady-state loop
-    // allocates nothing per packet.
+    // for query q. Each partition thread owns one BatchScratch and makes
+    // a single decode-once pass over its packets for the whole batch, so
+    // the steady-state loop allocates nothing per packet.
     type PerQuery = Vec<(Vec<(u32, f64)>, CoreStats)>;
     let per_partition: Vec<PerQuery> = std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
             .map(|(first_row, part)| {
                 scope.spawn(move || {
-                    let mut scratch = CoreScratch::new();
-                    queries
+                    let mut scratch = BatchScratch::<S>::new();
+                    let outputs =
+                        run_core_batch_with_scratch(part, queries, k, fidelity, &mut scratch);
+                    outputs
                         .iter()
-                        .map(|x| {
-                            let out =
-                                run_core_with_scratch::<S>(part, x, k, fidelity, &mut scratch);
+                        .map(|out| {
                             let globalised: Vec<(u32, f64)> = out
                                 .topk
-                                .into_iter()
-                                .map(|(local, acc)| (local + *first_row as u32, S::acc_to_f64(acc)))
+                                .iter()
+                                .map(|&(local, acc)| {
+                                    (local + *first_row as u32, S::acc_to_f64(acc))
+                                })
                                 .collect();
                             (globalised, out.stats)
                         })

@@ -87,8 +87,9 @@ pub use backend::{
     TimingSource, TopKBackend,
 };
 pub use engine::{
-    quantize_vector, run_core, run_core_with_scratch, run_multicore, run_multicore_batch,
-    trace_core, CoreOutput, CoreScratch, CoreStats, Fidelity, MulticoreOutput, PacketTrace,
+    quantize_vector, run_core, run_core_batch_with_scratch, run_core_with_scratch, run_multicore,
+    run_multicore_batch, trace_core, BatchScratch, CoreOutput, CoreScratch, CoreStats, Fidelity,
+    MulticoreOutput, PacketTrace,
 };
 pub use error::EngineError;
 pub use math::{hypergeometric_pmf, ln_choose, ln_gamma};

@@ -66,6 +66,26 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
         self.k
     }
 
+    /// Clears the tracker back to its just-constructed state with `new_k`
+    /// slots, keeping the slab's allocation.
+    ///
+    /// This is what lets a [`crate::BatchScratch`] reuse one tracker per
+    /// query lane across batches without reallocating: after the first
+    /// batch warms the slab capacity, a reset is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_k == 0`.
+    pub fn reset(&mut self, new_k: usize) {
+        assert!(new_k > 0, "top-k tracker needs at least one slot");
+        self.k = new_k;
+        self.slots.clear();
+        self.slots.reserve(new_k);
+        self.min_slot = 0;
+        self.offered = 0;
+        self.accepted = 0;
+    }
+
     /// Number of filled slots.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -156,6 +176,26 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
                 .then(a.0.cmp(&b.0))
         });
         out
+    }
+
+    /// Writes the tracked pairs into `out` (cleared first) sorted by
+    /// value descending, ties by index ascending — [`into_sorted`]
+    /// without consuming the tracker or allocating once `out`'s capacity
+    /// is warm.
+    ///
+    /// Uses an unstable sort: the engine offers each row at most once
+    /// per stream, so the (value desc, index asc) comparator is a strict
+    /// total order and stability cannot matter.
+    ///
+    /// [`into_sorted`]: TopKTracker::into_sorted
+    pub fn write_sorted_into(&self, out: &mut Vec<(u32, A)>) {
+        out.clear();
+        out.extend_from_slice(&self.slots);
+        out.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("comparable values")
+                .then(a.0.cmp(&b.0))
+        });
     }
 }
 
@@ -401,5 +441,40 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_k_rejected() {
         let _ = TopKTracker::<f64>::new(0);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut t = TopKTracker::new(2);
+        t.insert(1, 0.5);
+        t.insert(2, 0.8);
+        t.insert(3, 0.9);
+        t.reset(3);
+        assert!(t.is_empty());
+        assert_eq!(t.k(), 3);
+        assert_eq!(t.offered(), 0);
+        assert_eq!(t.accepted(), 0);
+        t.insert(4, 0.1);
+        t.insert(5, 0.3);
+        t.insert(6, 0.2);
+        assert_eq!(t.into_sorted(), vec![(5, 0.3), (6, 0.2), (4, 0.1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn reset_to_zero_k_rejected() {
+        let mut t = TopKTracker::<f64>::new(2);
+        t.reset(0);
+    }
+
+    #[test]
+    fn write_sorted_into_matches_into_sorted() {
+        let mut t = TopKTracker::new(4);
+        for (i, v) in [(5u32, 0.5), (1, 0.5), (9, 0.9), (2, 0.1)] {
+            t.insert(i, v);
+        }
+        let mut out = vec![(0u32, 0.0f64); 10]; // stale contents must be cleared
+        t.write_sorted_into(&mut out);
+        assert_eq!(out, t.into_sorted());
     }
 }

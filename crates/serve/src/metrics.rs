@@ -70,6 +70,17 @@ pub struct ServiceMetrics {
     pub shed: u64,
     /// Backend batches dispatched.
     pub batches: u64,
+    /// Total time spent inside the backend's batch call, summed across
+    /// shards and batches. End-to-end latency hides this behind queue
+    /// wait; this field isolates the engine's share.
+    pub engine_time_total: Duration,
+    /// Mean backend time per dispatched batch.
+    pub mean_engine_time_per_batch: Duration,
+    /// `(batch_size, mean_engine_time)` for every batch size observed,
+    /// ascending — aligned with `batch_size_histogram`. This is the
+    /// batch-amortisation curve: with a matrix-major engine the mean
+    /// grows far slower than linearly in the batch size.
+    pub engine_time_by_size: Vec<(usize, Duration)>,
     /// Median end-to-end latency (submission to response) over the
     /// recent-sample reservoir.
     pub latency_p50: Duration,
@@ -113,6 +124,11 @@ pub(crate) struct MetricsInner {
     batches: u64,
     /// `batch_hist[s]` = batches dispatched holding exactly `s` queries.
     batch_hist: Vec<u64>,
+    /// `engine_us_by_size[s]` = total backend µs spent on batches of
+    /// exactly `s` queries (parallel to `batch_hist`).
+    engine_us_by_size: Vec<u64>,
+    /// Total backend µs across all batches.
+    engine_us_total: u64,
     /// Current collection epoch and the number of swaps that produced it.
     epoch: u64,
     swaps: u64,
@@ -132,6 +148,8 @@ impl MetricsInner {
             shed: 0,
             batches: 0,
             batch_hist: Vec::new(),
+            engine_us_by_size: Vec::new(),
+            engine_us_total: 0,
             epoch: 0,
             swaps: 0,
             tiers: Vec::new(),
@@ -175,12 +193,16 @@ impl MetricsInner {
         self.shed += 1;
     }
 
-    pub(crate) fn record_batch(&mut self, size: usize) {
+    pub(crate) fn record_batch(&mut self, size: usize, engine_time: Duration) {
         self.batches += 1;
         if self.batch_hist.len() <= size {
             self.batch_hist.resize(size + 1, 0);
+            self.engine_us_by_size.resize(size + 1, 0);
         }
         self.batch_hist[size] += 1;
+        let us = u64::try_from(engine_time.as_micros()).unwrap_or(u64::MAX);
+        self.engine_us_by_size[size] = self.engine_us_by_size[size].saturating_add(us);
+        self.engine_us_total = self.engine_us_total.saturating_add(us);
     }
 
     pub(crate) fn record_swap(&mut self, new_epoch: u64) {
@@ -203,6 +225,22 @@ impl MetricsInner {
             failed: self.failed,
             shed: self.shed,
             batches: self.batches,
+            engine_time_total: Duration::from_micros(self.engine_us_total),
+            mean_engine_time_per_batch: Duration::from_micros(
+                self.engine_us_total.checked_div(self.batches).unwrap_or(0),
+            ),
+            engine_time_by_size: self
+                .batch_hist
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(size, &count)| {
+                    (
+                        size,
+                        Duration::from_micros(self.engine_us_by_size[size] / count),
+                    )
+                })
+                .collect(),
             latency_p50: percentile(&sorted, 0.50),
             latency_p95: percentile(&sorted, 0.95),
             latency_p99: percentile(&sorted, 0.99),
@@ -335,9 +373,9 @@ mod tests {
         }
         m.record_failed(2, "exact");
         m.record_shed();
-        m.record_batch(1);
-        m.record_batch(3);
-        m.record_batch(3);
+        m.record_batch(1, Duration::from_micros(90));
+        m.record_batch(3, Duration::from_micros(120));
+        m.record_batch(3, Duration::from_micros(180));
         let s = m.snapshot(0);
         assert_eq!(s.served, 4);
         assert_eq!(s.failed, 2);
@@ -348,6 +386,17 @@ mod tests {
         assert_eq!(s.batch_size_histogram, vec![(1, 1), (3, 2)]);
         assert!((s.mean_batch_size - 7.0 / 3.0).abs() < 1e-12);
         assert!(s.throughput_qps > 0.0);
+        // Engine time: totals, per-batch mean, and the per-size
+        // amortisation curve (mean over the two size-3 batches).
+        assert_eq!(s.engine_time_total, Duration::from_micros(390));
+        assert_eq!(s.mean_engine_time_per_batch, Duration::from_micros(130));
+        assert_eq!(
+            s.engine_time_by_size,
+            vec![
+                (1, Duration::from_micros(90)),
+                (3, Duration::from_micros(150)),
+            ]
+        );
     }
 
     #[test]
@@ -370,6 +419,9 @@ mod tests {
         assert_eq!(s.latency_p99, Duration::ZERO);
         assert!(s.batch_size_histogram.is_empty());
         assert!(s.tiers.is_empty());
+        assert_eq!(s.engine_time_total, Duration::ZERO);
+        assert_eq!(s.mean_engine_time_per_batch, Duration::ZERO);
+        assert!(s.engine_time_by_size.is_empty());
     }
 
     #[test]

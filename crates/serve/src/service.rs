@@ -131,6 +131,10 @@ struct Job {
     /// Shards still running; the worker that decrements this to zero
     /// merges and responds.
     remaining: AtomicUsize,
+    /// Time spent inside the backend's batch call, in µs, summed over
+    /// shards — the engine's share of the batch, excluding queue wait
+    /// and merge.
+    engine_us: AtomicU64,
 }
 
 impl Job {
@@ -139,6 +143,7 @@ impl Job {
     fn finalize(&self, inner: &Inner) {
         let parts = std::mem::take(&mut *lock(&self.partials));
         let batch_size = self.batch.len();
+        let engine_time = Duration::from_micros(self.engine_us.load(Ordering::Acquire));
         let mut failure: Option<ServeError> = None;
         let mut per_query: Vec<Vec<(u32, f64)>> = vec![Vec::new(); batch_size];
         for outcome in parts {
@@ -169,7 +174,7 @@ impl Job {
             Some(error) => {
                 {
                     let mut metrics = lock(&inner.metrics);
-                    metrics.record_batch(batch_size);
+                    metrics.record_batch(batch_size, engine_time);
                     metrics.record_failed(self.responders.len() as u64, &tier_label);
                 }
                 for responder in &self.responders {
@@ -186,7 +191,7 @@ impl Job {
                 }
                 {
                     let mut metrics = lock(&inner.metrics);
-                    metrics.record_batch(batch_size);
+                    metrics.record_batch(batch_size, engine_time);
                     for &(_, _, latency) in &outputs {
                         metrics.record_served(latency, &tier_label);
                     }
@@ -290,6 +295,7 @@ impl Inner {
             responders,
             partials: Mutex::new((0..self.shards.len()).map(|_| None).collect()),
             remaining: AtomicUsize::new(self.shards.len()),
+            engine_us: AtomicU64::new(0),
         });
         for shard in &self.shards {
             lock(&shard.queue).jobs.push_back(Arc::clone(&job));
@@ -426,6 +432,7 @@ fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
         // "current" state: a hot swap installed after this job was
         // admitted must not change what it runs against.
         let shard = &job.epoch.shards[shard_index];
+        let engine_started = Instant::now();
         let ran = catch_unwind(AssertUnwindSafe(|| {
             let results =
                 inner
@@ -436,6 +443,8 @@ fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
                 .map(|r| shard.globalize(&r.topk))
                 .collect::<Vec<_>>())
         }));
+        let engine_us = u64::try_from(engine_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        job.engine_us.fetch_add(engine_us, Ordering::Relaxed);
         let outcome: ShardOutcome = match ran {
             Ok(Ok(lists)) => Ok(lists),
             Ok(Err(e)) => Err(ServeError::Engine(e)),

@@ -22,7 +22,7 @@ use crate::bitio::BitWriter;
 use crate::csr::Csr;
 use crate::error::SparseError;
 use crate::layout::PacketLayout;
-use crate::packet::{extract_field, field_mask, Packet512, PACKET_BYTES};
+use crate::packet::{extract_field, field_mask, for_each_field, Packet512, PACKET_BYTES};
 
 /// A sparse matrix encoded as a stream of BS-CSR packets.
 ///
@@ -474,12 +474,15 @@ impl PacketView {
         let val_bits = layout.value_bits();
         let words = packet.words();
 
-        // Field base offsets are fixed by the layout, so each field is a
-        // single two-word extract instead of a sequential cursor walk;
-        // padding fields past `real_entries` are never touched. The
-        // layout solver guarantees every field lies within the 512-bit
-        // packet (`bits_used() <= 512`), so `extract_field`'s masked
-        // indexing is exact, not a wrap-around.
+        // Field base offsets are fixed by the layout, so every region is
+        // decoded with SWAR multi-field extraction (whole `u64` word
+        // reads, several fields sliced per read) instead of a per-field
+        // cursor walk; padding fields past `real_entries` are never
+        // touched. The layout solver guarantees every field lies within
+        // the 512-bit packet (`bits_used() <= 512`), so the masked word
+        // indexing is exact, not a wrap-around. Fields wider than the
+        // 32-bit SWAR limit (the layout permits up to 64) fall back to
+        // the scalar two-word extract.
         scratch.new_row = words[0] & 1 == 1;
 
         // The whole ptr region usually fits one extract (e.g. the paper's
@@ -487,51 +490,68 @@ impl PacketView {
         scratch.row_ends.clear();
         let ptr_mask = field_mask(ptr_bits);
         let ptr_region = b as u32 * ptr_bits;
+        let push_end = |row_ends: &mut Vec<u32>, p: u32| {
+            if p != 0 {
+                debug_assert!(
+                    row_ends.last().is_none_or(|&last| p > last),
+                    "ptr entries must be strictly increasing"
+                );
+                row_ends.push(p);
+            }
+        };
         if ptr_region <= 64 {
             let mut region = extract_field(words, 1, ptr_region, field_mask(ptr_region));
             for _ in 0..b {
                 let p = (region & ptr_mask) as u32;
                 region >>= ptr_bits;
-                if p != 0 {
-                    debug_assert!(
-                        scratch.row_ends.last().is_none_or(|&last| p > last),
-                        "ptr entries must be strictly increasing"
-                    );
-                    scratch.row_ends.push(p);
-                }
+                push_end(&mut scratch.row_ends, p);
             }
+        } else if ptr_bits <= 32 {
+            for_each_field(words, 1, ptr_bits, b, |p| {
+                push_end(&mut scratch.row_ends, p as u32);
+            });
         } else {
             let mut pos = 1usize;
             for _ in 0..b {
                 let p = extract_field(words, pos, ptr_bits, ptr_mask) as u32;
                 pos += ptr_bits as usize;
-                if p != 0 {
-                    debug_assert!(
-                        scratch.row_ends.last().is_none_or(|&last| p > last),
-                        "ptr entries must be strictly increasing"
-                    );
-                    scratch.row_ends.push(p);
-                }
+                push_end(&mut scratch.row_ends, p);
             }
         }
 
         scratch.idx.clear();
-        let idx_mask = field_mask(idx_bits);
-        let mut pos = 1 + b * ptr_bits as usize;
-        scratch.idx.extend((0..real_entries).map(|_| {
-            let v = extract_field(words, pos, idx_bits, idx_mask) as u32;
-            pos += idx_bits as usize;
-            v
-        }));
+        let idx_base = 1 + b * ptr_bits as usize;
+        if idx_bits <= 32 {
+            scratch.idx.reserve(real_entries);
+            for_each_field(words, idx_base, idx_bits, real_entries, |v| {
+                scratch.idx.push(v as u32);
+            });
+        } else {
+            let idx_mask = field_mask(idx_bits);
+            let mut pos = idx_base;
+            scratch.idx.extend((0..real_entries).map(|_| {
+                let v = extract_field(words, pos, idx_bits, idx_mask) as u32;
+                pos += idx_bits as usize;
+                v
+            }));
+        }
 
         scratch.val.clear();
-        let val_mask = field_mask(val_bits);
-        let mut pos = 1 + b * (ptr_bits + idx_bits) as usize;
-        scratch.val.extend((0..real_entries).map(|_| {
-            let v = extract_field(words, pos, val_bits, val_mask);
-            pos += val_bits as usize;
-            v
-        }));
+        let val_base = 1 + b * (ptr_bits + idx_bits) as usize;
+        if val_bits <= 32 {
+            scratch.val.reserve(real_entries);
+            for_each_field(words, val_base, val_bits, real_entries, |v| {
+                scratch.val.push(v);
+            });
+        } else {
+            let val_mask = field_mask(val_bits);
+            let mut pos = val_base;
+            scratch.val.extend((0..real_entries).map(|_| {
+                let v = extract_field(words, pos, val_bits, val_mask);
+                pos += val_bits as usize;
+                v
+            }));
+        }
     }
 
     /// Number of real entries.

@@ -77,6 +77,82 @@ impl Packet512 {
         );
         extract_field(&self.words, pos, bits, field_mask(bits))
     }
+
+    /// Extracts `count` consecutive `width`-bit fields starting at bit
+    /// `base` into `out` (cleared first) — the SWAR counterpart of
+    /// calling [`Packet512::bits`] in a loop.
+    ///
+    /// Instead of re-deriving word index, shift, and straddle for every
+    /// field, this pulls whole `u64` words and slices multiple fields
+    /// out of each word read: one shift-and-mask per field in the common
+    /// case, one extra word load only when a field straddles a word
+    /// boundary. The BS-CSR decoder uses this for the `ptr`/`idx`/`val`
+    /// regions, whose fixed widths the [`crate::PacketLayout`] solver
+    /// keeps well under the 32-bit SWAR limit at every useful precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32, or if the fields would
+    /// run past bit 512. (Widths in `33..=64` are legal packet fields —
+    /// use the scalar [`Packet512::bits`] path for those.)
+    pub fn extract_fields_into(&self, base: usize, width: u32, count: usize, out: &mut Vec<u64>) {
+        assert!(
+            (1..=32).contains(&width),
+            "SWAR field width must be in 1..=32"
+        );
+        assert!(
+            base + width as usize * count <= PACKET_BITS,
+            "{count} fields of {width} bits at position {base} overflow the packet"
+        );
+        out.clear();
+        out.reserve(count);
+        for_each_field(&self.words, base, width, count, |v| out.push(v));
+    }
+}
+
+/// Streams `count` consecutive `width`-bit fields starting at bit `base`
+/// through `f`, reading each backing word at most once (SWAR multi-field
+/// extraction).
+///
+/// The register window `(buf, avail)` maintains the invariant that bits
+/// `>= avail` of `buf` are zero, so the fast path is a single
+/// mask-shift-subtract per field; a refill (one word load, one
+/// merge) runs only when a field straddles a word boundary. Callers
+/// guarantee `1 <= width <= 32` and `base + width*count <= 512`; the
+/// `& 7` index masking keeps the word accesses provably in-bounds
+/// (no panic path in the generated code).
+#[inline(always)]
+pub(crate) fn for_each_field(
+    words: &[u64; 8],
+    base: usize,
+    width: u32,
+    count: usize,
+    mut f: impl FnMut(u64),
+) {
+    debug_assert!((1..=32).contains(&width));
+    debug_assert!(base + width as usize * count <= PACKET_BITS);
+    let mask = field_mask(width);
+    let mut word_i = base >> 6;
+    let offset = (base & 63) as u32;
+    let mut buf = words[word_i & 7] >> offset;
+    let mut avail = 64 - offset;
+    for _ in 0..count {
+        if avail >= width {
+            f(buf & mask);
+            buf >>= width;
+            avail -= width;
+        } else {
+            // Straddle: `buf` holds the field's low `avail` bits (its
+            // high bits are zero by the window invariant); the next word
+            // supplies the rest. `avail < width <= 32` keeps every shift
+            // below in range.
+            word_i += 1;
+            let next = words[word_i & 7];
+            f((buf | (next << avail)) & mask);
+            buf = next >> (width - avail);
+            avail = 64 - (width - avail);
+        }
+    }
 }
 
 /// Low `bits` set, for masking an extracted field (`bits <= 64`).
@@ -187,5 +263,52 @@ mod tests {
     #[should_panic(expected = "overflows the packet")]
     fn bits_rejects_out_of_range_field() {
         let _ = Packet512::ZERO.bits(509, 4);
+    }
+
+    #[test]
+    fn extract_fields_matches_scalar_bits_on_every_alignment() {
+        let p = Packet512::from_words([
+            0x0123_4567_89AB_CDEF,
+            0xFEDC_BA98_7654_3210,
+            0xA5A5_A5A5_A5A5_A5A5,
+            0x5A5A_5A5A_5A5A_5A5A,
+            0xFFFF_0000_FFFF_0000,
+            0x0000_FFFF_0000_FFFF,
+            0xDEAD_BEEF_CAFE_F00D,
+            0x1357_9BDF_0246_8ACE,
+        ]);
+        let mut out = Vec::new();
+        for width in [1u32, 3, 4, 7, 10, 13, 20, 25, 31, 32] {
+            for base in 0..64.min(PACKET_BITS - width as usize) {
+                let count = (PACKET_BITS - base) / width as usize;
+                p.extract_fields_into(base, width, count, &mut out);
+                assert_eq!(out.len(), count);
+                for (i, &got) in out.iter().enumerate() {
+                    let want = p.bits(base + i * width as usize, width);
+                    assert_eq!(got, want, "base={base} width={width} field={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_fields_zero_count_is_empty() {
+        let mut out = vec![42];
+        Packet512::ZERO.extract_fields_into(5, 10, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "SWAR field width")]
+    fn extract_fields_rejects_wide_fields() {
+        let mut out = Vec::new();
+        Packet512::ZERO.extract_fields_into(0, 33, 1, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow the packet")]
+    fn extract_fields_rejects_overflowing_run() {
+        let mut out = Vec::new();
+        Packet512::ZERO.extract_fields_into(500, 10, 2, &mut out);
     }
 }

@@ -5,11 +5,15 @@
 //! never answers.
 
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 use tkspmv::backend::{QueryBatch, TopKBackend};
-use tkspmv::Accelerator;
+use tkspmv::{
+    quantize_vector, run_core, run_core_batch_with_scratch, Accelerator, BatchScratch, Fidelity,
+};
 use tkspmv_baselines::cpu::CpuTopK;
 use tkspmv_baselines::gpu::{GpuModel, GpuPrecision, GpuTopK};
-use tkspmv_sparse::{Csr, DenseVector};
+use tkspmv_fixed::{SpmvScalar, F32, Q1_19};
+use tkspmv_sparse::{BsCsr, Csr, DenseVector, PacketLayout};
 
 /// All three engine families behind the unified trait. The accelerator
 /// uses few cores so tiny matrices still exercise multiple partitions,
@@ -50,8 +54,58 @@ fn arb_case() -> impl Strategy<Value = (Csr, Vec<DenseVector>, usize)> {
     })
 }
 
+/// Engine-level oracle check for one scalar type: the matrix-major
+/// batch pass must be bit-identical to N independent single-query runs
+/// — top-k pairs (including raw accumulator values, so fixed-point
+/// saturation order is covered) and every statistic — under both the
+/// hardware-faithful `r`-limited fidelity and the unlimited reference.
+fn assert_engine_batch_matches_sequential<S: SpmvScalar>(
+    csr: &Csr,
+    queries: &[DenseVector],
+    k: usize,
+    value_bits: u32,
+) -> Result<(), TestCaseError> {
+    let layout = PacketLayout::solve(csr.num_cols(), value_bits).expect("layout solves");
+    let bs = BsCsr::encode::<S>(csr, layout);
+    let qs: Vec<Vec<S>> = queries
+        .iter()
+        .map(|x| quantize_vector::<S>(x.as_slice()))
+        .collect();
+    for fidelity in [
+        Fidelity::Faithful { rows_per_packet: 2 },
+        Fidelity::Reference,
+    ] {
+        let mut scratch = BatchScratch::<S>::new();
+        let outputs = run_core_batch_with_scratch(&bs, &qs, k, fidelity, &mut scratch);
+        prop_assert_eq!(outputs.len(), qs.len());
+        for (x, got) in qs.iter().zip(outputs) {
+            let single = run_core::<S>(&bs, x, k, fidelity);
+            prop_assert_eq!(
+                &single.topk,
+                &got.topk,
+                "engine batch diverged from sequential ({:?})",
+                fidelity
+            );
+            prop_assert_eq!(single.stats, got.stats);
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The engine contract underneath every backend, for both
+    /// fidelities: 20-bit fixed point (saturating accumulation) and the
+    /// f32 reference datapath.
+    #[test]
+    fn engine_batch_is_bit_identical_for_both_fidelities(
+        (csr, queries, k) in arb_case()
+    ) {
+        let k = k.min(csr.num_rows()).max(1);
+        assert_engine_batch_matches_sequential::<Q1_19>(&csr, &queries, k, 20)?;
+        assert_engine_batch_matches_sequential::<F32>(&csr, &queries, k, 32)?;
+    }
 
     #[test]
     fn query_batch_is_elementwise_identical_to_sequential_queries(

@@ -4,7 +4,9 @@
 //! reused scratch must never leak state from a previously parsed packet.
 
 use proptest::prelude::*;
+use tkspmv::{quantize_vector, run_core_batch_with_scratch, BatchScratch, Fidelity};
 use tkspmv_fixed::{Q1_19, Q1_31};
+use tkspmv_sparse::gen::query_vector;
 use tkspmv_sparse::{BitReader, BsCsr, Csr, PacketLayout, PacketScratch, PacketView};
 
 /// Strategy: a random sparse matrix as sorted unique triplets with
@@ -137,6 +139,64 @@ proptest! {
             let first = scratch_fields(&scratch);
             bs.view_into(0, &mut scratch);
             prop_assert_eq!(scratch_fields(&scratch), first);
+        }
+    }
+
+    /// A long-lived [`BatchScratch`] streamed through batches of
+    /// wildly varying size (growing, shrinking, B = 1) and different
+    /// matrices must behave exactly like a fresh scratch every time:
+    /// stale lanes from a larger previous batch, stale segment programs
+    /// and stale decoded values must never reach a later result.
+    #[test]
+    fn batch_scratch_reuse_never_leaks_across_batch_sizes(
+        csr_a in arb_matrix(),
+        csr_b in arb_matrix(),
+        sizes in proptest::collection::vec(1usize..9, 2..6),
+    ) {
+        let enc = |csr: &Csr| {
+            let layout = PacketLayout::solve(csr.num_cols(), 20).unwrap();
+            BsCsr::encode::<Q1_19>(csr, layout)
+        };
+        let bs = [enc(&csr_a), enc(&csr_b)];
+        let cols = [csr_a.num_cols(), csr_b.num_cols()];
+        let k = 4;
+
+        let mut reused = BatchScratch::<Q1_19>::new();
+        for (round, &b) in sizes.iter().enumerate() {
+            // Alternate matrices so a stale carry/segment program from
+            // one stream would corrupt the next.
+            let m = round % 2;
+            let queries: Vec<Vec<Q1_19>> = (0..b)
+                .map(|q| {
+                    quantize_vector::<Q1_19>(
+                        query_vector(cols[m], (round * 17 + q) as u64).as_slice(),
+                    )
+                })
+                .collect();
+            let got: Vec<_> = run_core_batch_with_scratch(
+                &bs[m],
+                &queries,
+                k,
+                Fidelity::Faithful { rows_per_packet: 2 },
+                &mut reused,
+            )
+            .to_vec();
+            let mut fresh = BatchScratch::<Q1_19>::new();
+            let expected = run_core_batch_with_scratch(
+                &bs[m],
+                &queries,
+                k,
+                Fidelity::Faithful { rows_per_packet: 2 },
+                &mut fresh,
+            );
+            prop_assert_eq!(got.len(), expected.len());
+            for (lane, (g, e)) in got.iter().zip(expected).enumerate() {
+                prop_assert_eq!(
+                    &g.topk, &e.topk,
+                    "round {} (B={}) lane {}: reused scratch diverged", round, b, lane
+                );
+                prop_assert_eq!(g.stats, e.stats);
+            }
         }
     }
 }

@@ -12,7 +12,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use tkspmv::{quantize_vector, run_core_with_scratch, CoreScratch, Fidelity};
+use tkspmv::{
+    quantize_vector, run_core_batch_with_scratch, run_core_with_scratch, BatchScratch, CoreScratch,
+    Fidelity,
+};
 use tkspmv_fixed::Q1_19;
 use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
 use tkspmv_sparse::{BsCsr, Csr, PacketLayout};
@@ -109,5 +112,55 @@ fn steady_state_packet_loop_is_allocation_free() {
     assert!(
         large_allocs <= 8,
         "per-call constant unexpectedly large: {large_allocs} allocation calls"
+    );
+}
+
+#[test]
+#[ignore = "global-allocator accounting; run explicitly (CI does) with --ignored"]
+fn warm_batch_scratch_is_allocation_free_across_packet_count_and_batch_size() {
+    let layout = PacketLayout::solve(1024, 20).unwrap();
+    let small = BsCsr::encode::<Q1_19>(&synthetic(1_500, 3), layout);
+    let large = BsCsr::encode::<Q1_19>(&synthetic(20_000, 4), layout);
+    assert!(
+        large.num_packets() >= 10 * small.num_packets(),
+        "need a 10x packet-count spread ({} vs {})",
+        large.num_packets(),
+        small.num_packets()
+    );
+    let queries: Vec<Vec<Q1_19>> = (0..32)
+        .map(|seed| quantize_vector::<Q1_19>(query_vector(1024, seed).as_slice()))
+        .collect();
+    let k = 8;
+    let fidelity = Fidelity::Faithful { rows_per_packet: 2 };
+
+    // Warm on the large stream at the largest batch size, so lanes,
+    // outputs and every chunk buffer are at final capacity.
+    let mut scratch = BatchScratch::<Q1_19>::new();
+    let warm = run_core_batch_with_scratch(&large, &queries, k, fidelity, &mut scratch);
+    assert_eq!(warm.len(), 32);
+
+    // Every (stream, B) combination must cost the same number of
+    // allocation calls on the warm scratch: zero per packet AND zero
+    // per lane — batching amortises decode without touching the heap.
+    let mut counts = Vec::new();
+    for matrix in [&small, &large] {
+        for b in [1usize, 4, 32] {
+            let allocs = allocations_during(|| {
+                run_core_batch_with_scratch(matrix, &queries[..b], k, fidelity, &mut scratch).len()
+            });
+            counts.push((matrix.num_packets(), b, allocs));
+        }
+    }
+    let baseline = counts[0].2;
+    for &(packets, b, allocs) in &counts {
+        assert_eq!(
+            allocs, baseline,
+            "allocation count depends on stream/batch shape \
+             ({packets} packets, B={b}: {allocs} vs {baseline})"
+        );
+    }
+    assert!(
+        baseline <= 2,
+        "warm batch pass unexpectedly allocates: {baseline} calls"
     );
 }
