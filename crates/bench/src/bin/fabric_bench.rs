@@ -24,9 +24,12 @@
 //!
 //! The final JSON block is written to `BENCH_fabric.json`.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use tkspmv_obs::SpanNode;
 
 use tkspmv::backend::{PreparedMatrix, QueryBatch, QueryResult, QueryTier, TopKBackend};
 use tkspmv::EngineError;
@@ -247,6 +250,92 @@ fn delta_check(csr: &Csr, pace_ns: u64) -> DeltaCheck {
     }
 }
 
+/// Sums every stage span in a trace subtree into `totals`
+/// (`stage name -> (spans, total us)`).
+fn accumulate_stages(node: &SpanNode, totals: &mut BTreeMap<&'static str, (u64, u64)>) {
+    for s in &node.stages {
+        let entry = totals.entry(s.stage.name()).or_default();
+        entry.0 += 1;
+        entry.1 += u64::from(s.dur_us);
+    }
+    for child in &node.children {
+        accumulate_stages(child, totals);
+    }
+}
+
+/// Runs a traced 2-node fleet and prints the cross-node per-stage
+/// breakdown aggregated over the assembled trace trees — where routed
+/// query time actually goes (wire vs engine stages vs merge).
+fn trace_breakdown(csr: &Csr, pace_ns: u64) {
+    let mut servers = Vec::new();
+    let mut specs = Vec::new();
+    for (first_row, shard) in csr.partition_rows(2) {
+        let backend = Arc::new(PacedBackend {
+            inner: CpuTopK::new(1),
+            pace_ns,
+        });
+        let service = TopKService::builder(backend)
+            .batch_policy(BatchPolicy::immediate())
+            .queue_capacity(1024)
+            .build(&shard)
+            .expect("shard service builds");
+        let node = NodeServer::spawn(
+            Arc::new(DeltaCollection::new(service, shard, first_row)),
+            "127.0.0.1:0",
+        )
+        .expect("node binds");
+        specs.push(ShardSpec::single(node.local_addr().to_string()));
+        servers.push(node);
+    }
+    let router = Router::connect(
+        specs,
+        RouterConfig {
+            deadline: Duration::from_secs(30),
+            trace: true,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router connects");
+
+    const TRACED: usize = 16;
+    let mut total_us = 0u64;
+    for i in 0..TRACED {
+        let result = router
+            .query(
+                query_vector(DIM, 5_000 + i as u64).as_slice(),
+                K,
+                QueryTier::Exact,
+            )
+            .expect("traced query");
+        let trace = result.trace.expect("tracing on");
+        assert!(trace.is_well_formed(), "malformed trace tree");
+        total_us += trace.total_us;
+    }
+    let mut totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for trace in router.slowest_traces(TRACED) {
+        accumulate_stages(&trace.root, &mut totals);
+    }
+    for server in servers {
+        server.shutdown();
+    }
+
+    println!("\nstage breakdown — 2 nodes, {TRACED} traced queries (from assembled trace trees):");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>8}",
+        "stage", "spans", "total (us)", "mean (us)", "share"
+    );
+    for (stage, (count, us)) in &totals {
+        println!(
+            "{:<10} {:>8} {:>12} {:>12} {:>7.1}%",
+            stage,
+            count,
+            us,
+            us / count.max(&1),
+            100.0 * *us as f64 / total_us.max(1) as f64
+        );
+    }
+}
+
 fn main() {
     let pace_ns = std::env::args()
         .skip(1)
@@ -292,6 +381,8 @@ fn main() {
         "delta: visible before compaction = {}, identical after = {} ({} folded)",
         delta.visible_before_compaction, delta.identical_after_compaction, delta.folded
     );
+
+    trace_breakdown(&csr, pace_ns);
 
     let base_qps = all[0].throughput_qps;
     let mut json = String::from("{\n");

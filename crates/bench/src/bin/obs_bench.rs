@@ -1,0 +1,129 @@
+//! Instrumentation-overhead benchmark: the B=32 batched query on the
+//! ≥1M-nnz packet stream, with and without the `obs-trace` stage hooks.
+//!
+//! Run twice — once default (hooks compiled out) and once with
+//! `--features obs-trace` (hooks live) — and each run writes its half
+//! into `BENCH_obs.json`, merging the other half from an existing file
+//! so the final record carries both numbers plus the overhead:
+//!
+//! ```text
+//! cargo run --release -p tkspmv_bench --bin obs_bench
+//! cargo run --release -p tkspmv_bench --bin obs_bench --features obs-trace
+//! ```
+//!
+//! The acceptance budget is ≤ 2% mean-batch-time overhead with the
+//! hooks on; the hooks-off build must be byte-for-byte the uninstru-
+//! mented hot path (`tests/zero_alloc.rs` guards the allocation side).
+
+use std::time::{Duration, Instant};
+
+use tkspmv::backend::{QueryBatch, TopKBackend};
+use tkspmv::Accelerator;
+use tkspmv_sparse::gen::{NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::Csr;
+
+const DIM: usize = 1024;
+const K: usize = 100;
+const BATCH: usize = 32;
+const WARMUP: usize = 3;
+const ITERS: usize = 12;
+const OUT: &str = "BENCH_obs.json";
+
+/// The `batch_query` bench's ≥1M-nnz steady-state collection.
+fn collection() -> Csr {
+    SyntheticConfig {
+        num_rows: 52_000,
+        num_cols: DIM,
+        avg_nnz_per_row: 20,
+        distribution: NnzDistribution::table3_gamma(),
+        seed: 7,
+    }
+    .generate()
+}
+
+fn mean_batch_time() -> Duration {
+    let csr = collection();
+    assert!(csr.nnz() >= 1_000_000, "bench collection must be >= 1M nnz");
+    let acc = Accelerator::builder()
+        .cores(32)
+        .k(8)
+        .build()
+        .expect("builds");
+    let backend: &dyn TopKBackend = &acc;
+    let prepared = backend.prepare(&csr).expect("prepares");
+    let batch = QueryBatch::random(BATCH, DIM, 7);
+    for _ in 0..WARMUP {
+        backend.query_batch(&prepared, &batch, K).expect("warmup");
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        backend.query_batch(&prepared, &batch, K).expect("batch");
+    }
+    start.elapsed() / ITERS as u32
+}
+
+/// Pulls `"<half>": {"mean_batch_us": N` out of a previous run's JSON.
+/// The file is machine-written by this tool, so a string scan is all
+/// the parsing needed.
+fn previous_half(text: &str, half: &str) -> Option<f64> {
+    let key = format!("\"{half}\": {{\"mean_batch_us\": ");
+    let at = text.find(&key)? + key.len();
+    let rest = &text[at..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let traced = cfg!(feature = "obs-trace");
+    let half = if traced { "traced" } else { "baseline" };
+    let other = if traced { "baseline" } else { "traced" };
+
+    println!(
+        "obs_bench: batch_query B={BATCH}, K={K}, >=1M nnz, obs-trace hooks {}",
+        if traced { "ON" } else { "OFF" }
+    );
+    let mean = mean_batch_time();
+    let mean_us = mean.as_secs_f64() * 1e6;
+    let qps = BATCH as f64 / mean.as_secs_f64();
+    println!("mean batch time: {mean_us:.1} us ({qps:.1} queries/s)");
+
+    let existing = std::fs::read_to_string(OUT).unwrap_or_default();
+    let other_us = previous_half(&existing, other);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"batch\": {BATCH}, \"k\": {K}, \"dim\": {DIM}, \"iters\": {ITERS}, \"min_nnz\": 1000000}},\n"
+    ));
+    let write_half = |json: &mut String, name: &str, us: f64, comma: &str| {
+        json.push_str(&format!(
+            "  \"{name}\": {{\"mean_batch_us\": {us:.1}, \"qps\": {:.1}}}{comma}\n",
+            BATCH as f64 / (us / 1e6)
+        ));
+    };
+    match other_us {
+        Some(other_us) => {
+            let (base, inst) = if traced {
+                (other_us, mean_us)
+            } else {
+                (mean_us, other_us)
+            };
+            let overhead = 100.0 * (inst - base) / base;
+            write_half(&mut json, "baseline", base, ",");
+            write_half(&mut json, "traced", inst, ",");
+            json.push_str(&format!(
+                "  \"overhead_percent\": {overhead:.2}, \"budget_percent\": 2.0\n"
+            ));
+            println!(
+                "overhead: {overhead:.2}% (baseline {base:.1} us -> traced {inst:.1} us, budget 2%)"
+            );
+        }
+        None => {
+            write_half(&mut json, half, mean_us, "");
+            println!("no {other} half on disk yet; rerun with the other feature set to merge");
+        }
+    }
+    json.push_str("}\n");
+
+    std::fs::write(OUT, &json).expect("write BENCH_obs.json");
+    println!("wrote {OUT}");
+}

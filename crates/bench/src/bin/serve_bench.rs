@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tkspmv::Accelerator;
-use tkspmv_serve::{BatchPolicy, TopKService};
+use tkspmv_serve::{BatchPolicy, StageStat, TopKService};
 use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
 use tkspmv_sparse::Csr;
 
@@ -49,6 +49,28 @@ struct Measurement {
     /// each batch, isolated from queue wait (the batch-size blind spot
     /// end-to-end percentiles can't show).
     engine_per_batch_us: u128,
+    /// Per-stage time attribution from the service's stage histograms.
+    stages: Vec<StageStat>,
+}
+
+/// Prints one configuration's per-stage breakdown (queue/coalesce/
+/// engine stages/merge) from the service's stage histograms.
+fn print_stage_table(title: &str, stages: &[StageStat]) {
+    println!("\nstage breakdown — {title}:");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}",
+        "stage", "requests", "mean (us)", "p95 (us)", "total (ms)"
+    );
+    for s in stages {
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>12.1}",
+            s.stage,
+            s.count,
+            s.mean.as_micros(),
+            s.p95.as_micros(),
+            s.total.as_secs_f64() * 1e3
+        );
+    }
 }
 
 fn measure(
@@ -104,6 +126,7 @@ fn measure(
         p99_us: metrics.latency_p99.as_micros(),
         mean_batch: metrics.mean_batch_size,
         engine_per_batch_us: metrics.mean_engine_time_per_batch.as_micros(),
+        stages: metrics.stages,
     }
 }
 
@@ -140,6 +163,9 @@ fn main() {
                 m.engine_per_batch_us
             );
             all.push(m);
+        }
+        if let Some(m) = all.last() {
+            print_stage_table(&format!("{} / {} clients", m.policy, m.clients), &m.stages);
         }
     }
 

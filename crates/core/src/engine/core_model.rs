@@ -296,6 +296,9 @@ pub fn run_core_batch_with_scratch<'s, S: SpmvScalar, Q: AsRef<[S]>>(
         // the chunk becomes one merged segment: the sequential path's
         // carry is just the running sum at the packet boundary, so the
         // merged accumulation performs the identical operation sequence.
+        // Stage hook: one timestamp pair per chunk (zero-sized no-op
+        // unless the `obs-trace` feature is on; see `obs_hooks`).
+        let decode_timer = crate::obs_hooks::StageTimer::start(crate::obs_hooks::STAGE_DECODE);
         scratch.dvals.clear();
         scratch.cidx.clear();
         scratch.segs.clear();
@@ -344,9 +347,12 @@ pub fn run_core_batch_with_scratch<'s, S: SpmvScalar, Q: AsRef<[S]>>(
         };
         carry_active = tail.is_some();
 
+        decode_timer.stop();
+
         let dvals = &scratch.dvals;
         let idx = &scratch.cidx;
         let segs = &scratch.segs;
+        let score_timer = crate::obs_hooks::StageTimer::start(crate::obs_hooks::STAGE_SCORE);
 
         // Stages 1b+2+3+4 per lane: fused gather-multiply-accumulate
         // replaying the shared segment program, then the Top-K offer.
@@ -373,6 +379,7 @@ pub fn run_core_batch_with_scratch<'s, S: SpmvScalar, Q: AsRef<[S]>>(
                 lane_pass::<S>(lane, x, dvals, idx, segs, tail, |x, i| x[i as usize]);
             }
         }
+        score_timer.stop();
 
         p = chunk_end;
     }

@@ -75,6 +75,7 @@ pub mod backend;
 pub mod engine;
 mod error;
 mod math;
+pub mod obs_hooks;
 mod perf;
 mod pruned;
 mod topk;

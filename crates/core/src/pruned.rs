@@ -202,6 +202,7 @@ impl PrunedBackend {
         };
 
         let started = Instant::now();
+        let prune_timer = crate::obs_hooks::StageTimer::start(crate::obs_hooks::STAGE_PRUNE);
         let q = prune.quantize_query(x.as_slice());
         let scores = self.prune_scores(prune, &q);
 
@@ -244,13 +245,19 @@ impl PrunedBackend {
         let sub = Csr::from_parts(shortlist, st.csr.num_cols(), row_ptr, col_idx, values)
             .map_err(|e| EngineError::bad_query(format!("shortlist gather failed: {e}")))?;
         let prune_seconds = started.elapsed().as_secs_f64();
+        prune_timer.stop();
 
         // Rescore exactly through the wrapped backend and re-base the
         // shortlist-local row ids into collection coordinates. Ascending
         // gather order makes local row order agree with global row
-        // order, so ties break identically.
+        // order, so ties break identically. (The rescore stage timer
+        // wraps the inner engine call, whose own decode/score hooks
+        // also fire — consumers attribute a pruned query to
+        // prune+rescore and never add decode/score on top.)
+        let rescore_timer = crate::obs_hooks::StageTimer::start(crate::obs_hooks::STAGE_RESCORE);
         let sub_prepared = self.inner.prepare(&sub)?;
         let out = self.inner.query(&sub_prepared, x, k)?;
+        rescore_timer.stop();
         let pairs: Vec<(u32, f64)> = out
             .topk
             .entries()

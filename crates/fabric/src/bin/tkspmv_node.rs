@@ -41,6 +41,7 @@ struct Args {
     shortlist_factor: usize,
     compact_interval_ms: u64,
     compact_min_rows: usize,
+    metrics_listen: Option<String>,
 }
 
 impl Default for Args {
@@ -61,6 +62,7 @@ impl Default for Args {
             shortlist_factor: 8,
             compact_interval_ms: 0,
             compact_min_rows: 256,
+            metrics_listen: None,
         }
     }
 }
@@ -88,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
                 args.compact_interval_ms = parse(&value("--compact-interval-ms")?)?
             }
             "--compact-min-rows" => args.compact_min_rows = parse(&value("--compact-min-rows")?)?,
+            "--metrics-listen" => args.metrics_listen = Some(value("--metrics-listen")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -121,7 +124,9 @@ const USAGE: &str = "tkspmv_node: one fabric shard behind a TCP port
   --prune-bits {0|4|8}   0 = exact only; 4/8 enable the pruned tier (default 4)
   --shortlist-factor N   default prune shortlist factor c (default 8)
   --compact-interval-ms  background compactor poll; 0 disables (default 0)
-  --compact-min-rows N   delta rows before a background fold (default 256)";
+  --compact-min-rows N   delta rows before a background fold (default 256)
+  --metrics-listen ADDR  serve Prometheus /metrics on ADDR (off by default;
+                         the bound address is printed for harnesses)";
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -190,7 +195,11 @@ fn main() -> ExitCode {
         )
     });
 
-    let server = match NodeServer::spawn(collection, &args.listen) {
+    let server = match &args.metrics_listen {
+        Some(metrics) => NodeServer::spawn_with_metrics(collection, &args.listen, metrics),
+        None => NodeServer::spawn(collection, &args.listen),
+    };
+    let server = match server {
         Ok(s) => s,
         Err(e) => {
             eprintln!("tkspmv_node: bind {}: {e}", args.listen);
@@ -198,6 +207,9 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", server.local_addr());
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics on {addr}");
+    }
     eprintln!(
         "tkspmv_node: rows {}..{} dim {} seed {} prune-bits {}",
         args.start_row,

@@ -28,6 +28,9 @@ struct Args {
     headroom_ms: u64,
     tier: QueryTier,
     allow_partial: bool,
+    trace: bool,
+    metrics_listen: Option<String>,
+    linger_ms: u64,
 }
 
 impl Default for Args {
@@ -41,6 +44,9 @@ impl Default for Args {
             headroom_ms: 50,
             tier: QueryTier::Exact,
             allow_partial: false,
+            trace: false,
+            metrics_listen: None,
+            linger_ms: 0,
         }
     }
 }
@@ -54,7 +60,11 @@ const USAGE: &str = "tkspmv_router: fan-out router over tkspmv_node shards
   --deadline-ms N     per-query deadline (default 2000)
   --headroom-ms N     required margin above node max_wait (default 50)
   --tier exact|pruned:C  precision tier (default exact)
-  --allow-partial     return partial coverage instead of failing";
+  --allow-partial     return partial coverage instead of failing
+  --trace             trace every query; assembled trees kept for /traces
+  --metrics-listen ADDR  serve /metrics and /traces on ADDR (bound address printed)
+  --linger-ms N       keep serving the metrics endpoint N ms after the
+                      query stream finishes (default 0)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -83,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--allow-partial" => args.allow_partial = true,
+            "--trace" => args.trace = true,
+            "--metrics-listen" => args.metrics_listen = Some(value("--metrics-listen")?),
+            "--linger-ms" => args.linger_ms = parse(&value("--linger-ms")?)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -119,6 +132,7 @@ fn main() -> ExitCode {
         } else {
             PartialPolicy::Fail
         },
+        trace: args.trace,
         ..RouterConfig::default()
     };
     let router = match Router::connect(args.shards, config) {
@@ -127,6 +141,19 @@ fn main() -> ExitCode {
             eprintln!("tkspmv_router: {e}");
             return ExitCode::FAILURE;
         }
+    };
+    let metrics_server = match &args.metrics_listen {
+        Some(bind) => match router.serve_metrics(bind) {
+            Ok(s) => {
+                println!("metrics on {}", s.addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("tkspmv_router: bind metrics {bind}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
     println!(
         "fleet: {} shard groups, {} rows, dim {}, deadline {:?}",
@@ -166,5 +193,18 @@ fn main() -> ExitCode {
         elapsed.as_secs_f64(),
         served as f64 / elapsed.as_secs_f64()
     );
+    if args.trace {
+        if let Some(slowest) = router.slowest_traces(1).first() {
+            println!(
+                "slowest trace: {} ({} us)",
+                slowest.trace_id.to_hex(),
+                slowest.total_us
+            );
+        }
+    }
+    if metrics_server.is_some() && args.linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(args.linger_ms));
+    }
+    drop(metrics_server);
     ExitCode::SUCCESS
 }

@@ -1,0 +1,141 @@
+//! Trace dump tool: fetches a router's assembled query traces and
+//! prints the slowest-N trees as JSON, one object per line.
+//!
+//! The router's observability endpoint (see `Router::serve_metrics`)
+//! answers `/traces` with a JSON array of the slowest assembled
+//! [`tkspmv_obs::QueryTrace`] trees. This tool fetches that array and
+//! re-emits it one trace per line so shell pipelines can slice it.
+//!
+//! ```text
+//! tkspmv_trace --endpoint 127.0.0.1:9100 [--n 8]
+//! ```
+//!
+//! With `--validate-metrics` it instead fetches the endpoint's
+//! `/metrics` page, checks it against the Prometheus plaintext
+//! exposition format, and prints one series name per line — CI points
+//! this at a live node and router to validate their scrapes.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    endpoint: String,
+    n: usize,
+    validate_metrics: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut endpoint = None;
+    let mut n = 8usize;
+    let mut validate_metrics = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--endpoint" => endpoint = Some(value("--endpoint")?),
+            "--n" => n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--validate-metrics" => validate_metrics = true,
+            "--help" | "-h" => {
+                println!("usage: tkspmv_trace --endpoint HOST:PORT [--n N] [--validate-metrics]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        endpoint: endpoint.ok_or("--endpoint is required")?,
+        n,
+        validate_metrics,
+    })
+}
+
+/// Splits a JSON array of objects into its top-level elements. The
+/// traces endpoint emits machine-generated JSON (no whitespace
+/// surprises), so brace/string tracking is all the parsing needed.
+fn split_top_level(array: &str) -> Result<Vec<&str>, String> {
+    let body = array.trim();
+    let inner = body
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!(
+                "expected a JSON array, got: {}",
+                &body[..body.len().min(64)]
+            )
+        })?;
+    let mut out = Vec::new();
+    let (mut depth, mut start, mut in_str, mut escaped) = (0usize, 0usize, false, false);
+    for (i, c) in inner.char_indices() {
+        if in_str {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| "unbalanced braces in trace array".to_string())?;
+                if depth == 0 {
+                    out.push(&inner[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let addr: SocketAddr = args
+        .endpoint
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {}: {e}", args.endpoint))?
+        .next()
+        .ok_or_else(|| format!("{} resolved empty", args.endpoint))?;
+    if args.validate_metrics {
+        let body = tkspmv_obs::http_get(addr, "/metrics", Duration::from_secs(5))
+            .map_err(|e| format!("fetch /metrics from {addr}: {e}"))?;
+        let names = tkspmv_obs::validate_exposition(&body)
+            .map_err(|e| format!("invalid exposition from {addr}: {e}"))?;
+        for name in &names {
+            println!("{name}");
+        }
+        eprintln!("{addr} /metrics: {} series, exposition valid", names.len());
+        return Ok(());
+    }
+    let body = tkspmv_obs::http_get(addr, "/traces", Duration::from_secs(5))
+        .map_err(|e| format!("fetch /traces from {addr}: {e}"))?;
+    let traces = split_top_level(&body)?;
+    if traces.is_empty() {
+        eprintln!("no traces recorded yet (is the router running with tracing on?)");
+        return Ok(());
+    }
+    for t in traces.iter().take(args.n) {
+        println!("{t}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tkspmv_trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,8 +11,12 @@ use std::time::{Duration, Instant};
 
 use tkspmv::backend::QueryTier;
 
+use tkspmv_obs::TraceId;
+
 use crate::error::RpcError;
-use crate::wire::{read_response, write_request, NodeInfo, Request, Response, WireError};
+use crate::wire::{
+    read_response, write_request, NodeInfo, Request, Response, WireError, WireTrace,
+};
 use crate::SparseRow;
 
 /// A blocking connection to one fabric node.
@@ -20,6 +24,10 @@ pub struct NodeClient {
     stream: TcpStream,
     peer: SocketAddr,
 }
+
+/// A traced ranking: the entries plus the node's per-stage span report
+/// when the query carried a non-zero trace id (v2 nodes only).
+pub type TracedRanking = (Vec<(u32, f64)>, Option<WireTrace>);
 
 /// What a typed call can report: a transport/protocol failure or a
 /// node-side [`RpcError`].
@@ -145,13 +153,29 @@ impl NodeClient {
         tier: QueryTier,
         deadline: Duration,
     ) -> Result<Vec<(u32, f64)>, CallError> {
+        self.query_traced(x, k, tier, TraceId::ZERO, deadline)
+            .map(|(entries, _)| entries)
+    }
+
+    /// [`NodeClient::query`] with a distributed trace id. A non-zero id
+    /// asks the node to report its per-stage spans alongside the
+    /// ranking; `None` comes back for untraced queries and v1 nodes.
+    pub fn query_traced(
+        &mut self,
+        x: &[f32],
+        k: usize,
+        tier: QueryTier,
+        trace: TraceId,
+        deadline: Duration,
+    ) -> Result<TracedRanking, CallError> {
         let req = Request::Query {
             x: x.to_vec(),
             k: k as u32,
             tier,
+            trace,
         };
         match self.call(&req, deadline)? {
-            Response::TopK { entries } => Ok(entries),
+            Response::TopK { entries, trace } => Ok((entries, trace)),
             Response::Error(e) => Err(CallError::Rpc(e)),
             other => Err(unexpected(&other, "TopK")),
         }

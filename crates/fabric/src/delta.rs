@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use tkspmv::backend::QueryTier;
 use tkspmv::TopKResult;
-use tkspmv_serve::{ServeError, TopKService};
+use tkspmv_serve::{ServeError, StageBreakdown, TopKService};
 use tkspmv_sparse::{Csr, DenseVector};
 
 /// One sparse row in caller form: strictly increasing column indices and
@@ -130,6 +130,21 @@ impl DeltaCollection {
         k: usize,
         tier: QueryTier,
     ) -> Result<TopKResult, ServeError> {
+        self.query_traced(x, k, tier).map(|(topk, _, _)| topk)
+    }
+
+    /// [`DeltaCollection::query`] plus where the time went: the served
+    /// request's [`StageBreakdown`] (with the delta scoring and final
+    /// merge folded into its merge stage) and the collection-level
+    /// end-to-end latency. This is what a fabric node reports for a
+    /// traced query.
+    pub fn query_traced(
+        &self,
+        x: DenseVector,
+        k: usize,
+        tier: QueryTier,
+    ) -> Result<(TopKResult, StageBreakdown, Duration), ServeError> {
+        let started = std::time::Instant::now();
         // Snapshot the delta (and where it starts) before querying the
         // base, so a compaction landing in between can only duplicate
         // rows — never drop them. Duplicates are deduped below.
@@ -143,15 +158,16 @@ impl DeltaCollection {
             .map(|(j, (cols, vals))| ((delta_first + j) as u32, score_row(&x, cols, vals)))
             .collect();
         let served = self.service.query_tiered(x, k, tier)?;
+        let merge_started = std::time::Instant::now();
         let base_pairs = served
             .topk
             .entries()
             .iter()
             .map(|&(row, score)| (row + self.start_row as u32, score));
-        Ok(TopKResult::merge_pairs_dedup(
-            base_pairs.chain(delta_pairs),
-            k,
-        ))
+        let topk = TopKResult::merge_pairs_dedup(base_pairs.chain(delta_pairs), k);
+        let mut stages = served.stages;
+        stages.merge += merge_started.elapsed();
+        Ok((topk, stages, started.elapsed()))
     }
 
     /// Folds the current delta prefix into a re-encoded base and

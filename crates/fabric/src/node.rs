@@ -22,7 +22,10 @@ use tkspmv_sparse::DenseVector;
 
 use crate::delta::DeltaCollection;
 use crate::error::RpcError;
-use crate::wire::{read_request, write_response, NodeInfo, Request, Response, WireError};
+use crate::wire::{
+    read_frame, write_response, write_response_versioned, NodeInfo, Request, Response, WireError,
+    WireTrace,
+};
 
 /// Maps a serving-layer failure to its wire-typed form.
 pub fn rpc_error_from_serve(e: &ServeError) -> RpcError {
@@ -70,13 +73,34 @@ impl NodeShared {
         match req {
             Request::Ping => Response::Pong,
             Request::Info => Response::Info(self.info()),
-            Request::Query { x, k, tier } => {
+            Request::Query { x, k, tier, trace } => {
                 let x = DenseVector::from_values(x);
-                match self.collection.query(x, k as usize, tier) {
-                    Ok(topk) => Response::TopK {
-                        entries: topk.entries().to_vec(),
-                    },
-                    Err(e) => Response::Error(rpc_error_from_serve(&e)),
+                if trace.is_zero() {
+                    match self.collection.query(x, k as usize, tier) {
+                        Ok(topk) => Response::TopK {
+                            entries: topk.entries().to_vec(),
+                            trace: None,
+                        },
+                        Err(e) => Response::Error(rpc_error_from_serve(&e)),
+                    }
+                } else {
+                    match self.collection.query_traced(x, k as usize, tier) {
+                        Ok((topk, stages, total)) => {
+                            let rec = stages.to_span_record(trace, total);
+                            // Re-record under the wire-propagated id so
+                            // the node's own span ring is searchable by
+                            // trace id, not just the router's tree.
+                            self.collection.service().record_span(&rec);
+                            Response::TopK {
+                                entries: topk.entries().to_vec(),
+                                trace: Some(WireTrace {
+                                    total_us: rec.total_us,
+                                    stages: rec.spans().to_vec(),
+                                }),
+                            }
+                        }
+                        Err(e) => Response::Error(rpc_error_from_serve(&e)),
+                    }
                 }
             }
             Request::Append { rows } => match self.collection.append(&rows) {
@@ -98,9 +122,33 @@ pub struct NodeServer {
     local_addr: SocketAddr,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     handler_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    metrics: Option<tkspmv_obs::MetricsServer>,
 }
 
 impl NodeServer {
+    /// [`NodeServer::spawn`] plus a Prometheus plaintext `/metrics`
+    /// endpoint on `metrics_addr` (port 0 for ephemeral), rendering the
+    /// served collection's full metric registry. The endpoint lives and
+    /// dies with the node.
+    pub fn spawn_with_metrics(
+        collection: Arc<DeltaCollection>,
+        addr: &str,
+        metrics_addr: &str,
+    ) -> std::io::Result<Self> {
+        let mut node = Self::spawn(collection, addr)?;
+        let metrics_collection = Arc::clone(&node.shared.collection);
+        node.metrics = Some(tkspmv_obs::MetricsServer::spawn(
+            metrics_addr,
+            move |path| (path == "/metrics").then(|| metrics_collection.service().render_metrics()),
+        )?);
+        Ok(node)
+    }
+
+    /// The metrics endpoint's bound address, when one was spawned.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.addr())
+    }
+
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
     /// accepting connections over `collection`.
     pub fn spawn(collection: Arc<DeltaCollection>, addr: &str) -> std::io::Result<Self> {
@@ -126,6 +174,7 @@ impl NodeServer {
             local_addr,
             accept_handle: Some(accept_handle),
             handler_handles,
+            metrics: None,
         })
     }
 
@@ -151,6 +200,8 @@ impl NodeServer {
     }
 
     fn shutdown_inner(&mut self) {
+        // Stop answering scrapes before serving state goes away.
+        self.metrics.take();
         self.shared.stop.store(true, Ordering::Release);
         for conn in lock(&self.shared.conns).drain(..) {
             let _ = conn.shutdown(Shutdown::Both);
@@ -208,8 +259,14 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<NodeShared>) {
         if shared.stop.load(Ordering::Acquire) {
             return;
         }
-        let req = match read_request(&mut stream) {
-            Ok(req) => req,
+        // Read the raw frame first: the answer must go back in the
+        // version the request arrived in, so a v1 peer never sees v2
+        // trace fields.
+        let (version, req) = match read_frame(&mut stream).and_then(|f| {
+            let version = f.version;
+            Request::decode(&f).map(|req| (version, req))
+        }) {
+            Ok(pair) => pair,
             Err(WireError::Io(_)) | Err(WireError::Truncated { .. }) => {
                 // Peer gone (or shutdown unblocked us); nothing to say.
                 return;
@@ -231,7 +288,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<NodeShared>) {
             shared.stop.store(true, Ordering::Release);
         }
         let resp = shared.respond(req);
-        if write_response(&mut stream, &resp).is_err() {
+        if write_response_versioned(&mut stream, version, &resp).is_err() {
             return;
         }
         if is_shutdown {

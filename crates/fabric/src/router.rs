@@ -32,17 +32,22 @@
 //! blocks past the deadline (plus bounded connect slack) regardless of
 //! how nodes die.
 
+use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tkspmv::backend::QueryTier;
 use tkspmv::TopKResult;
+use tkspmv_obs::{Counter, QueryTrace, Registry, SpanNode, Stage, StageSpan, TraceId};
 
 use crate::client::{CallError, NodeClient};
 use crate::error::{FabricError, RpcError, ShardFailure};
-use crate::wire::NodeInfo;
+use crate::wire::{NodeInfo, WireTrace};
 use crate::SparseRow;
+
+/// Assembled traces the router keeps for the dump tool (`/traces`).
+const TRACE_RING_CAPACITY: usize = 256;
 
 /// The replica addresses of one shard group. All replicas serve the
 /// same global row range; one answer covers the group.
@@ -101,6 +106,12 @@ pub struct RouterConfig {
     /// the transport + execution budget. Size it to cover the node's
     /// p99 service time.
     pub headroom: Duration,
+    /// Trace every query: generate a [`TraceId`], carry it to every
+    /// node, and assemble the per-node span reports into one
+    /// [`QueryTrace`] tree (returned on the result and kept in a
+    /// bounded ring for the dump tool). Off by default — tracing costs
+    /// a few extra wire bytes per query.
+    pub trace: bool,
 }
 
 impl Default for RouterConfig {
@@ -112,6 +123,7 @@ impl Default for RouterConfig {
             partial: PartialPolicy::Fail,
             pool_slots: 4,
             headroom: Duration::from_millis(50),
+            trace: false,
         }
     }
 }
@@ -182,6 +194,72 @@ pub struct RoutedResult {
     pub topk: TopKResult,
     /// Which shards contributed.
     pub coverage: CoverageReport,
+    /// The assembled cross-node trace tree, when the router runs with
+    /// [`RouterConfig::trace`] on.
+    pub trace: Option<QueryTrace>,
+}
+
+/// The router's degradation counters and trace ring, shared with the
+/// fan-out threads and any metrics endpoint.
+struct RouterMetrics {
+    registry: Registry,
+    requests: Arc<Counter>,
+    hedged_sends: Arc<Counter>,
+    failovers: Arc<Counter>,
+    deadline_expiries: Arc<Counter>,
+    incomplete_coverage: Arc<Counter>,
+    traces: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl RouterMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter(
+            "tkspmv_router_requests_total",
+            "Queries fanned out by this router.",
+        );
+        let hedged_sends = registry.counter(
+            "tkspmv_router_hedged_sends_total",
+            "Replica attempts launched because the previous replica stayed silent past the hedge stagger.",
+        );
+        let failovers = registry.counter(
+            "tkspmv_router_failovers_total",
+            "Replica attempts launched immediately after a failed attempt.",
+        );
+        let deadline_expiries = registry.counter(
+            "tkspmv_router_deadline_expiries_total",
+            "Shard groups that produced no answer before the per-query deadline.",
+        );
+        let incomplete_coverage = registry.counter(
+            "tkspmv_router_incomplete_coverage_total",
+            "Queries whose coverage report had at least one failed shard group.",
+        );
+        Self {
+            registry,
+            requests,
+            hedged_sends,
+            failovers,
+            deadline_expiries,
+            incomplete_coverage,
+            traces: Mutex::new(VecDeque::with_capacity(TRACE_RING_CAPACITY)),
+        }
+    }
+
+    fn record_trace(&self, trace: QueryTrace) {
+        let mut ring = self.traces.lock().unwrap_or_else(|p| p.into_inner());
+        if ring.len() == TRACE_RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    fn slowest_traces(&self, n: usize) -> Vec<QueryTrace> {
+        let ring = self.traces.lock().unwrap_or_else(|p| p.into_inner());
+        let mut all: Vec<QueryTrace> = ring.iter().cloned().collect();
+        all.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+        all.truncate(n);
+        all
+    }
 }
 
 /// A pooled connection slot set for one replica.
@@ -235,6 +313,7 @@ pub struct Router {
     shards: Arc<Vec<ShardGroup>>,
     config: RouterConfig,
     dim: usize,
+    metrics: Arc<RouterMetrics>,
 }
 
 impl std::fmt::Debug for Router {
@@ -333,6 +412,45 @@ impl Router {
             shards: Arc::new(shards),
             config,
             dim: dim as usize,
+            metrics: Arc::new(RouterMetrics::new()),
+        })
+    }
+
+    /// Renders the router's metrics (fan-out and degradation counters)
+    /// in Prometheus plaintext exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.registry.render()
+    }
+
+    /// The slowest `n` assembled query traces, descending by end-to-end
+    /// latency. Empty unless [`RouterConfig::trace`] is on.
+    pub fn slowest_traces(&self, n: usize) -> Vec<QueryTrace> {
+        self.metrics.slowest_traces(n)
+    }
+
+    /// Serves the router's observability over HTTP on `bind` (port 0
+    /// for ephemeral): `/metrics` answers Prometheus plaintext,
+    /// `/traces` the slowest assembled trace trees as a JSON array.
+    /// The endpoint lives until the returned server is dropped.
+    pub fn serve_metrics(&self, bind: &str) -> std::io::Result<tkspmv_obs::MetricsServer> {
+        let metrics = Arc::clone(&self.metrics);
+        tkspmv_obs::MetricsServer::spawn(bind, move |path| {
+            if path == "/metrics" {
+                Some(metrics.registry.render())
+            } else if path == "/traces" || path.starts_with("/traces?") {
+                let traces = metrics.slowest_traces(16);
+                let mut out = String::from("[");
+                for (i, t) in traces.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&t.to_json());
+                }
+                out.push(']');
+                Some(out)
+            } else {
+                None
+            }
         })
     }
 
@@ -367,16 +485,32 @@ impl Router {
     /// answer is `Ok` and its [`CoverageReport`] names the gaps.
     pub fn query(&self, x: &[f32], k: usize, tier: QueryTier) -> Result<RoutedResult, FabricError> {
         let start = Instant::now();
-        let (tx, rx) = mpsc::channel::<(usize, Result<(usize, Vec<(u32, f64)>), ShardFailure>)>();
+        self.metrics.requests.inc();
+        let trace_id = if self.config.trace {
+            TraceId::generate()
+        } else {
+            TraceId::ZERO
+        };
+        let (tx, rx) = mpsc::channel::<(usize, Result<ShardAnswer, ShardFailure>)>();
         for (index, _) in self.shards.iter().enumerate() {
             let tx = tx.clone();
             let shards = Arc::clone(&self.shards);
             let config = self.config.clone();
+            let metrics = Arc::clone(&self.metrics);
             let x = x.to_vec();
             std::thread::Builder::new()
                 .name(format!("tkspmv-router-s{index}"))
                 .spawn(move || {
-                    let outcome = query_shard(&shards[index], &x, k, tier, &config, start);
+                    let outcome = query_shard(
+                        &shards[index],
+                        &x,
+                        k,
+                        tier,
+                        trace_id,
+                        &config,
+                        &metrics,
+                        start,
+                    );
                     let _ = tx.send((index, outcome));
                 })
                 .expect("spawn router fan-out thread");
@@ -385,6 +519,7 @@ impl Router {
 
         let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; self.shards.len()];
         let mut pairs: Vec<(u32, f64)> = Vec::new();
+        let mut answers: Vec<Option<ShardAnswer>> = (0..self.shards.len()).map(|_| None).collect();
         let mut pending = self.shards.len();
         // The shard threads enforce the deadline themselves; the grace
         // covers their bounded connect/teardown slack so a wedged thread
@@ -393,9 +528,12 @@ impl Router {
         while pending > 0 {
             let budget = (self.config.deadline + grace).saturating_sub(start.elapsed());
             match rx.recv_timeout(budget.max(Duration::from_millis(1))) {
-                Ok((index, Ok((replica, entries)))) => {
-                    pairs.extend(entries);
-                    outcomes[index] = Some(ShardOutcome::Answered { replica });
+                Ok((index, Ok(mut answer))) => {
+                    pairs.extend(std::mem::take(&mut answer.entries));
+                    outcomes[index] = Some(ShardOutcome::Answered {
+                        replica: answer.replica,
+                    });
+                    answers[index] = Some(answer);
                     pending -= 1;
                 }
                 Ok((index, Err(failure))) => {
@@ -411,6 +549,23 @@ impl Router {
                 .map(|o| o.unwrap_or(ShardOutcome::Failed(ShardFailure::DeadlineExceeded)))
                 .collect(),
         };
+        if !coverage.is_complete() {
+            self.metrics.incomplete_coverage.inc();
+        }
+        let expired = coverage
+            .outcomes()
+            .iter()
+            .filter(|o| matches!(o, ShardOutcome::Failed(ShardFailure::DeadlineExceeded)))
+            .count() as u64;
+        if expired > 0 {
+            self.metrics.deadline_expiries.add(expired);
+        }
+
+        let trace = self.config.trace.then(|| {
+            let trace = assemble_trace(trace_id, start.elapsed(), &answers);
+            self.metrics.record_trace(trace.clone());
+            trace
+        });
 
         if coverage.answered() == 0 {
             return Err(FabricError::NoCoverage { coverage });
@@ -421,6 +576,7 @@ impl Router {
         Ok(RoutedResult {
             topk: TopKResult::merge_pairs_dedup(pairs, k),
             coverage,
+            trace,
         })
     }
 
@@ -482,21 +638,41 @@ impl Router {
     }
 }
 
-/// What one replica attempt sends back: its index and the entries it
-/// ranked, or the typed call failure.
-type AttemptResult = (usize, Result<Vec<(u32, f64)>, CallError>);
+/// One answered shard group's contribution: the winning replica, the
+/// entries it ranked, and — for trace assembly — when the winning
+/// attempt was sent (offset from query start), its wire round-trip, and
+/// the node's span report (absent for untraced queries and v1 nodes).
+struct ShardAnswer {
+    replica: usize,
+    entries: Vec<(u32, f64)>,
+    sent_us: u32,
+    rtt_us: u32,
+    node_trace: Option<WireTrace>,
+}
+
+/// What one replica attempt sends back: its index and its answer, or
+/// the typed call failure.
+type AttemptResult = (usize, Result<ShardAnswer, CallError>);
+
+/// Saturating microseconds for span arithmetic.
+fn us(d: Duration) -> u32 {
+    d.as_micros().min(u128::from(u32::MAX)) as u32
+}
 
 /// Queries one shard group under the router deadline: primary first,
 /// hedging to the next replica after a stagger (or immediately on
 /// failure), first success wins. Never blocks past the deadline.
+#[allow(clippy::too_many_arguments)]
 fn query_shard(
     shard: &ShardGroup,
     x: &[f32],
     k: usize,
     tier: QueryTier,
+    trace_id: TraceId,
     config: &RouterConfig,
+    metrics: &RouterMetrics,
     start: Instant,
-) -> Result<(usize, Vec<(u32, f64)>), ShardFailure> {
+) -> Result<ShardAnswer, ShardFailure> {
     let n = shard.pools.len();
     let stagger = config
         .hedge_after
@@ -515,8 +691,22 @@ fn query_shard(
         std::thread::Builder::new()
             .name("tkspmv-router-attempt".to_string())
             .spawn(move || {
-                let result = pool.call(connect_timeout, |c| c.query(&x, k, tier, remaining));
-                let _ = tx.send((replica, result));
+                let sent_us = us(start.elapsed());
+                let attempt = Instant::now();
+                let result = pool.call(connect_timeout, |c| {
+                    c.query_traced(&x, k, tier, trace_id, remaining)
+                });
+                let rtt_us = us(attempt.elapsed());
+                let _ = tx.send((
+                    replica,
+                    result.map(|(entries, node_trace)| ShardAnswer {
+                        replica,
+                        entries,
+                        sent_us,
+                        rtt_us,
+                        node_trace,
+                    }),
+                ));
             })
             .expect("spawn attempt thread");
     };
@@ -557,7 +747,7 @@ fn query_shard(
                 .min(until_deadline)
                 .max(Duration::from_millis(1)),
         ) {
-            Ok((replica, Ok(entries))) => return Ok((replica, entries)),
+            Ok((_, Ok(answer))) => return Ok(answer),
             Ok((_, Err(e))) => {
                 finished += 1;
                 match e {
@@ -571,6 +761,7 @@ fn query_shard(
                 }
                 if launched < n {
                     // Fail over immediately; don't wait for the stagger.
+                    metrics.failovers.inc();
                     launch(launched, &tx);
                     launched += 1;
                 } else if finished == launched {
@@ -585,6 +776,7 @@ fn query_shard(
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if launched < n && start.elapsed() >= stagger * (launched as u32) {
+                    metrics.hedged_sends.inc();
                     launch(launched, &tx);
                     launched += 1;
                 }
@@ -600,5 +792,69 @@ fn query_shard(
                 });
             }
         }
+    }
+}
+
+/// Assembles one fan-out's cross-node trace tree.
+///
+/// Shape: the root `router` span covers the whole query; each answered
+/// group contributes a `shard{i}` child at its send offset covering the
+/// wire round-trip, carrying a [`Stage::Wire`] span for the portion of
+/// the round-trip the node itself cannot account for; a node that
+/// reported spans adds a `node` grandchild (placed so it ends with the
+/// round-trip) holding its own per-stage spans. Every offset and
+/// duration is clamped into its parent, so the result satisfies
+/// [`QueryTrace::is_well_formed`] by construction even when the node's
+/// clock and the router's disagree.
+fn assemble_trace(
+    trace_id: TraceId,
+    total: Duration,
+    answers: &[Option<ShardAnswer>],
+) -> QueryTrace {
+    let total_us = us(total);
+    let mut root = SpanNode::new("router", 0, total_us);
+    for (i, answer) in answers.iter().enumerate() {
+        let Some(a) = answer else { continue };
+        let sent_us = a.sent_us.min(total_us);
+        let rtt_us = a.rtt_us.min(total_us - sent_us);
+        let mut shard = SpanNode::new(format!("shard{i}"), sent_us, rtt_us);
+        let node_total = a
+            .node_trace
+            .as_ref()
+            .map(|t| t.total_us.min(rtt_us))
+            .unwrap_or(0);
+        // Wire time: the round-trip minus what the node accounts for.
+        if rtt_us > node_total {
+            shard.stages.push(StageSpan {
+                stage: Stage::Wire,
+                start_us: 0,
+                dur_us: rtt_us - node_total,
+            });
+        }
+        if let Some(wire_trace) = &a.node_trace {
+            let mut node = SpanNode::new("node", rtt_us - node_total, node_total);
+            // A budget caps the stage sum at the node interval even if a
+            // peer reports overlapping spans.
+            let mut budget = node_total;
+            for s in &wire_trace.stages {
+                let start_us = s.start_us.min(node_total);
+                let dur_us = s.dur_us.min(node_total - start_us).min(budget);
+                budget -= dur_us;
+                if dur_us > 0 {
+                    node.stages.push(StageSpan {
+                        stage: s.stage,
+                        start_us,
+                        dur_us,
+                    });
+                }
+            }
+            shard.children.push(node);
+        }
+        root.children.push(shard);
+    }
+    QueryTrace {
+        trace_id,
+        total_us: u64::from(total_us),
+        root,
     }
 }

@@ -5,13 +5,20 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "TKFB"
-//!      4     2  version (u16 LE, currently 1)
+//!      4     2  version (u16 LE, currently 2; 1 still accepted)
 //!      6     1  frame kind
-//!      7     1  flags (reserved, 0 in version 1)
+//!      7     1  flags (reserved, 0)
 //!      8     4  body length (u32 LE, capped at 64 MiB)
 //!     12     n  body
 //!   12+n     4  CRC-32 of bytes [0, 12+n) (u32 LE)
 //! ```
+//!
+//! Version 2 extends two bodies for distributed tracing — a `Query`
+//! gains an optional 16-byte trace id and a `TopK` an optional stage
+//! span section — and nothing else. Readers accept
+//! [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] (a v1 frame simply carries
+//! no trace fields), and a node answers at the version the request
+//! arrived in, so old peers on either side keep working.
 //!
 //! The reader validates in this order — magic, version, kind, length —
 //! *before* allocating anything for the body, so a hostile peer cannot
@@ -28,6 +35,7 @@
 use std::io::{Read, Write};
 
 use tkspmv::backend::QueryTier;
+use tkspmv_obs::{Stage, StageSpan, TraceId, MAX_SPANS_PER_RECORD};
 use tkspmv_sparse::snapshot::crc32;
 
 use crate::error::RpcError;
@@ -35,10 +43,14 @@ use crate::error::RpcError;
 /// Frame magic: identifies a byte stream as fabric traffic.
 pub const MAGIC: [u8; 4] = *b"TKFB";
 
-/// Current wire-protocol version. Bumped on any layout change; peers at
-/// a different version get a typed [`WireError::VersionSkew`], never a
-/// silent misparse.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire-protocol version. Bumped on any layout change; peers
+/// outside [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] get a typed
+/// [`WireError::VersionSkew`], never a silent misparse.
+pub const WIRE_VERSION: u16 = 2;
+
+/// Oldest wire-protocol version this build still reads. Version 1
+/// frames are version 2 frames without the trace fields.
+pub const MIN_WIRE_VERSION: u16 = 1;
 
 /// Hard cap on a frame body. Large enough for a 64-query batch of
 /// 4096-dim vectors or a multi-thousand-row append, small enough that a
@@ -236,23 +248,38 @@ impl WireError {
     }
 }
 
-/// One decoded frame: its kind and raw body bytes.
+/// One decoded frame: its declared version, kind, and raw body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// The protocol version the frame was encoded at (governs how the
+    /// body decodes — v1 bodies carry no trace fields).
+    pub version: u16,
     /// What the body claims to carry.
     pub kind: FrameKind,
     /// The body bytes, CRC-verified but not yet decoded.
     pub body: Vec<u8>,
 }
 
-/// Encodes a complete frame (header + body + CRC trailer) into a byte
-/// vector. Exposed so tests can corrupt frames surgically.
+/// Encodes a complete frame (header + body + CRC trailer) at the
+/// current [`WIRE_VERSION`]. Exposed so tests can corrupt frames
+/// surgically.
 ///
 /// # Panics
 ///
 /// Panics if `body` exceeds [`MAX_BODY_LEN`] — encoders construct bodies
 /// and are responsible for staying under the cap.
 pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Vec<u8> {
+    encode_frame_versioned(WIRE_VERSION, kind, body)
+}
+
+/// [`encode_frame`] at an explicit version — how a node answers a v1
+/// peer in the frame version it spoke, and how compatibility tests
+/// author old-version traffic.
+///
+/// # Panics
+///
+/// As [`encode_frame`].
+pub fn encode_frame_versioned(version: u16, kind: FrameKind, body: &[u8]) -> Vec<u8> {
     assert!(
         body.len() <= MAX_BODY_LEN as usize,
         "frame body of {} bytes exceeds the wire cap",
@@ -260,7 +287,7 @@ pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Vec<u8> {
     );
     let mut buf = Vec::with_capacity(HEADER_LEN + body.len() + 4);
     buf.extend_from_slice(&MAGIC);
-    buf.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    buf.extend_from_slice(&version.to_le_bytes());
     buf.push(kind as u8);
     buf.push(0); // flags, reserved
     buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -270,9 +297,19 @@ pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Vec<u8> {
     buf
 }
 
-/// Writes one frame to `w`.
+/// Writes one frame to `w` at the current [`WIRE_VERSION`].
 pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, body: &[u8]) -> Result<(), WireError> {
-    let buf = encode_frame(kind, body);
+    write_frame_versioned(w, WIRE_VERSION, kind, body)
+}
+
+/// Writes one frame to `w` at an explicit version.
+pub fn write_frame_versioned<W: Write>(
+    w: &mut W,
+    version: u16,
+    kind: FrameKind,
+    body: &[u8],
+) -> Result<(), WireError> {
+    let buf = encode_frame_versioned(version, kind, body);
     w.write_all(&buf)?;
     w.flush()?;
     Ok(())
@@ -306,7 +343,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
         });
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(WireError::VersionSkew {
             found: version,
             expected: WIRE_VERSION,
@@ -338,7 +375,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     if stored != computed {
         return Err(WireError::CrcMismatch { stored, computed });
     }
-    Ok(Frame { kind, body })
+    Ok(Frame {
+        version,
+        kind,
+        body,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -507,6 +548,11 @@ pub enum Request {
         k: u32,
         /// Precision tier.
         tier: QueryTier,
+        /// Distributed trace id; [`TraceId::ZERO`] means "untraced" and
+        /// is what v1 peers implicitly send. A non-zero id asks the node
+        /// to stamp its stage spans with it and return them on the
+        /// `TopK` answer.
+        trace: TraceId,
     },
     /// Append rows (sorted sparse form) to the delta shard.
     Append {
@@ -521,18 +567,33 @@ pub enum Request {
 }
 
 impl Request {
-    /// Encodes into a frame kind and body.
+    /// Encodes into a frame kind and body at the current
+    /// [`WIRE_VERSION`].
     pub fn encode(&self) -> (FrameKind, Vec<u8>) {
+        self.encode_versioned(WIRE_VERSION)
+    }
+
+    /// Encodes into a frame kind and body at an explicit version (a v1
+    /// body omits the trace fields).
+    pub fn encode_versioned(&self, version: u16) -> (FrameKind, Vec<u8>) {
         match self {
             Request::Ping => (FrameKind::Ping, Vec::new()),
             Request::Info => (FrameKind::InfoRequest, Vec::new()),
-            Request::Query { x, k, tier } => {
-                let mut body = Vec::with_capacity(16 + 4 * x.len());
+            Request::Query { x, k, tier, trace } => {
+                let mut body = Vec::with_capacity(40 + 4 * x.len());
                 body.extend_from_slice(&k.to_le_bytes());
                 encode_tier(&mut body, *tier);
                 body.extend_from_slice(&(x.len() as u32).to_le_bytes());
                 for v in x {
                     body.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                if version >= 2 {
+                    if trace.is_zero() {
+                        body.push(0);
+                    } else {
+                        body.push(1);
+                        body.extend_from_slice(&trace.0);
+                    }
                 }
                 (FrameKind::Query, body)
             }
@@ -573,7 +634,17 @@ impl Request {
                 for _ in 0..dim {
                     x.push(r.f32_bits("query value")?);
                 }
-                Request::Query { x, k, tier }
+                // v1 peers carry no trace fields; their queries decode
+                // as untraced.
+                let trace = if frame.version >= 2 && r.u8("trace presence")? != 0 {
+                    let bytes = r.take(16, "trace id")?;
+                    let mut id = [0u8; 16];
+                    id.copy_from_slice(bytes);
+                    TraceId(id)
+                } else {
+                    TraceId::ZERO
+                };
+                Request::Query { x, k, tier, trace }
             }
             FrameKind::Append => {
                 let n = r.u32("row count")? as usize;
@@ -609,6 +680,18 @@ impl Request {
     }
 }
 
+/// A node's stage-span report for one traced query, as carried on a v2
+/// `TopK` frame. Span offsets are relative to the node's own query
+/// start; the router re-bases them into its wire round-trip interval
+/// when assembling the cross-node tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireTrace {
+    /// The node's end-to-end latency for the query, microseconds.
+    pub total_us: u32,
+    /// The node's stage spans, pipeline order.
+    pub stages: Vec<StageSpan>,
+}
+
 /// A node → client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -622,6 +705,9 @@ pub enum Response {
     TopK {
         /// `(global row id, score)` pairs, best first.
         entries: Vec<(u32, f64)>,
+        /// The node's stage spans for a traced query; `None` when the
+        /// query was untraced or the answer came from a v1 node.
+        trace: Option<WireTrace>,
     },
     /// Rows admitted to the delta shard, with their assigned global ids.
     AppendOk {
@@ -642,8 +728,15 @@ pub enum Response {
 }
 
 impl Response {
-    /// Encodes into a frame kind and body.
+    /// Encodes into a frame kind and body at the current
+    /// [`WIRE_VERSION`].
     pub fn encode(&self) -> (FrameKind, Vec<u8>) {
+        self.encode_versioned(WIRE_VERSION)
+    }
+
+    /// Encodes into a frame kind and body at an explicit version (a v1
+    /// body omits the trace fields — how a node answers a v1 peer).
+    pub fn encode_versioned(&self, version: u16) -> (FrameKind, Vec<u8>) {
         match self {
             Response::Pong => (FrameKind::Pong, Vec::new()),
             Response::Info(info) => {
@@ -658,12 +751,28 @@ impl Response {
                 body.extend_from_slice(&info.queue_capacity.to_le_bytes());
                 (FrameKind::Info, body)
             }
-            Response::TopK { entries } => {
-                let mut body = Vec::with_capacity(4 + 12 * entries.len());
+            Response::TopK { entries, trace } => {
+                let mut body = Vec::with_capacity(16 + 12 * entries.len());
                 body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
                 for (row, score) in entries {
                     body.extend_from_slice(&row.to_le_bytes());
                     body.extend_from_slice(&score.to_bits().to_le_bytes());
+                }
+                if version >= 2 {
+                    match trace {
+                        None => body.push(0),
+                        Some(t) => {
+                            body.push(1);
+                            body.extend_from_slice(&t.total_us.to_le_bytes());
+                            let n = t.stages.len().min(MAX_SPANS_PER_RECORD);
+                            body.push(n as u8);
+                            for s in t.stages.iter().take(n) {
+                                body.push(s.stage as u8);
+                                body.extend_from_slice(&s.start_us.to_le_bytes());
+                                body.extend_from_slice(&s.dur_us.to_le_bytes());
+                            }
+                        }
+                    }
                 }
                 (FrameKind::TopK, body)
             }
@@ -729,7 +838,36 @@ impl Response {
                     let score = f64::from_bits(r.u64("score bits")?);
                     entries.push((row, score));
                 }
-                Response::TopK { entries }
+                let trace = if frame.version >= 2 && r.u8("trace presence")? != 0 {
+                    let total_us = r.u32("trace total")?;
+                    let count = r.u8("span count")? as usize;
+                    if count > MAX_SPANS_PER_RECORD {
+                        return Err(WireError::malformed(format!(
+                            "trace span count {count} exceeds the {MAX_SPANS_PER_RECORD} cap"
+                        )));
+                    }
+                    r.expect_elems(count, 9, "trace spans")?;
+                    let mut stages = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let tag = r.u8("span stage")?;
+                        let start_us = r.u32("span start")?;
+                        let dur_us = r.u32("span duration")?;
+                        // A newer peer may report stages this build does
+                        // not know; skip them rather than failing the
+                        // whole answer.
+                        if let Some(stage) = Stage::from_u8(tag) {
+                            stages.push(StageSpan {
+                                stage,
+                                start_us,
+                                dur_us,
+                            });
+                        }
+                    }
+                    Some(WireTrace { total_us, stages })
+                } else {
+                    None
+                };
+                Response::TopK { entries, trace }
             }
             FrameKind::AppendOk => {
                 let n = r.u32("id count")? as usize;
@@ -791,6 +929,18 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<(), WireEr
     write_frame(w, kind, &body)
 }
 
+/// Writes a response at an explicit version — a node answers in the
+/// version the request arrived in, so a v1 peer never sees v2 fields.
+pub fn write_response_versioned<W: Write>(
+    w: &mut W,
+    version: u16,
+    resp: &Response,
+) -> Result<(), WireError> {
+    let version = version.clamp(MIN_WIRE_VERSION, WIRE_VERSION);
+    let (kind, body) = resp.encode_versioned(version);
+    write_frame_versioned(w, version, kind, &body)
+}
+
 /// Reads and decodes one response frame.
 pub fn read_response<R: Read>(r: &mut R) -> Result<Response, WireError> {
     Response::decode(&read_frame(r)?)
@@ -822,6 +972,7 @@ mod tests {
             x: vec![0.5, -1.25, 3.75],
             k: 10,
             tier: QueryTier::Exact,
+            trace: TraceId::ZERO,
         });
         roundtrip_request(Request::Query {
             x: vec![1.0],
@@ -829,6 +980,7 @@ mod tests {
             tier: QueryTier::Pruned {
                 shortlist_factor: 8,
             },
+            trace: TraceId::generate(),
         });
         roundtrip_request(Request::Append {
             rows: vec![(vec![0, 5, 9], vec![1.0, 2.0, 3.0]), (vec![2], vec![0.25])],
@@ -852,6 +1004,25 @@ mod tests {
         }));
         roundtrip_response(Response::TopK {
             entries: vec![(42, 0.987654321), (7, 0.5), (0, f64::MIN_POSITIVE)],
+            trace: None,
+        });
+        roundtrip_response(Response::TopK {
+            entries: vec![(1, 2.5)],
+            trace: Some(WireTrace {
+                total_us: 950,
+                stages: vec![
+                    StageSpan {
+                        stage: Stage::Queue,
+                        start_us: 0,
+                        dur_us: 120,
+                    },
+                    StageSpan {
+                        stage: Stage::Score,
+                        start_us: 120,
+                        dur_us: 700,
+                    },
+                ],
+            }),
         });
         roundtrip_response(Response::AppendOk {
             ids: vec![100, 101],
@@ -877,12 +1048,13 @@ mod tests {
             .collect();
         let resp = Response::TopK {
             entries: entries.clone(),
+            trace: None,
         };
         let (kind, body) = resp.encode();
         let bytes = encode_frame(kind, &body);
         let frame = read_frame(&mut bytes.as_slice()).expect("frame");
         match Response::decode(&frame).expect("decode") {
-            Response::TopK { entries: got } => {
+            Response::TopK { entries: got, .. } => {
                 for ((_, a), (_, b)) in entries.iter().zip(&got) {
                     assert_eq!(a.to_bits(), b.to_bits());
                 }
@@ -897,6 +1069,49 @@ mod tests {
         bytes[0] = b'X';
         match read_frame(&mut bytes.as_slice()) {
             Err(WireError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_decode_without_trace_fields() {
+        // A v1 Query (no trace section) from an old peer.
+        let req = Request::Query {
+            x: vec![0.5, 1.5],
+            k: 4,
+            tier: QueryTier::Exact,
+            trace: TraceId::generate(),
+        };
+        let (kind, body) = req.encode_versioned(1);
+        let bytes = encode_frame_versioned(1, kind, &body);
+        let frame = read_frame(&mut bytes.as_slice()).expect("v1 frame accepted");
+        assert_eq!(frame.version, 1);
+        match Request::decode(&frame).expect("decode") {
+            Request::Query { x, k, trace, .. } => {
+                assert_eq!(x, vec![0.5, 1.5]);
+                assert_eq!(k, 4);
+                // The trace id cannot ride a v1 body: it decodes as
+                // untraced, never as garbage.
+                assert!(trace.is_zero());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A v1 TopK (no span section) from an old node.
+        let resp = Response::TopK {
+            entries: vec![(9, 1.25)],
+            trace: Some(WireTrace {
+                total_us: 10,
+                stages: Vec::new(),
+            }),
+        };
+        let (kind, body) = resp.encode_versioned(1);
+        let bytes = encode_frame_versioned(1, kind, &body);
+        let frame = read_frame(&mut bytes.as_slice()).expect("v1 frame accepted");
+        match Response::decode(&frame).expect("decode") {
+            Response::TopK { entries, trace } => {
+                assert_eq!(entries, vec![(9, 1.25)]);
+                assert!(trace.is_none());
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -936,6 +1151,7 @@ mod tests {
                 x: vec![1.0; 16],
                 k: 5,
                 tier: QueryTier::Exact,
+                trace: TraceId::ZERO,
             }
             .encode()
             .1,
@@ -955,6 +1171,7 @@ mod tests {
             x: vec![0.5; 8],
             k: 3,
             tier: QueryTier::Exact,
+            trace: TraceId::ZERO,
         }
         .encode();
         let mut bytes = encode_frame(kind, &body);

@@ -18,6 +18,7 @@ const WORKSPACE_MANAGED: &[&str] = &[
     "tkspmv_fixed",
     "tkspmv_sparse",
     "tkspmv_hw",
+    "tkspmv_obs",
     "tkspmv_baselines",
     "tkspmv_serve",
     "tkspmv_fabric",
@@ -84,8 +85,8 @@ fn member_manifests() -> Vec<PathBuf> {
     }
     assert_eq!(
         found.len(),
-        12,
-        "expected 12 member manifests, got {found:?}"
+        13,
+        "expected 13 member manifests, got {found:?}"
     );
     found
 }
@@ -141,6 +142,9 @@ fn dependency_dag_is_acyclic_and_layered() {
         ("tkspmv_serve", "tkspmv_bench"),
         ("tkspmv_serve", "tkspmv_fabric"),
         ("tkspmv_fabric", "tkspmv_bench"),
+        ("tkspmv_obs", "tkspmv_serve"),
+        ("tkspmv_obs", "tkspmv_fabric"),
+        ("tkspmv_obs", "tkspmv"),
     ] {
         assert!(
             position[lower] < position[upper],

@@ -124,7 +124,7 @@ mod service;
 
 pub use batch::BatchPolicy;
 pub use error::ServeError;
-pub use metrics::{ServiceMetrics, TierMetrics};
+pub use metrics::{ServiceMetrics, StageBreakdown, StageStat, TierMetrics};
 pub use service::{ServedResult, ServiceBuilder, Ticket, TopKService};
 // The tier type requests carry; re-exported so servers need not depend
 // on the core crate for it.

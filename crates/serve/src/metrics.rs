@@ -1,14 +1,25 @@
-//! Service observability: latency percentiles, batch-size shape,
-//! throughput and shedding counters, snapshotted on demand.
+//! Service observability: latency percentiles, per-stage time
+//! attribution, batch-size shape, throughput and shedding counters.
+//!
+//! Built on `tkspmv_obs` primitives: counters are atomics and latency
+//! percentiles come from fixed log-bucket histograms, so the request
+//! completion path records without taking the metrics lock and
+//! [`MetricsShared::snapshot`] does O(buckets) work — the old design
+//! cloned and sorted a 65 536-sample reservoir *under the metrics
+//! mutex* on every snapshot, stalling request completions, and its
+//! percentiles silently aged out under sustained load. The only mutex
+//! left guards the small batch-size vectors and the tier-slot list,
+//! both O(1)-ish per touch.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Latency samples kept for percentile estimation (a ring buffer of the
-/// most recent completions; older samples age out under sustained load).
-const LATENCY_RESERVOIR: usize = 65_536;
+use tkspmv_obs::{Counter, Gauge, Histogram, Registry, SpanRecord, SpanRing, Stage, TraceId};
 
-/// Per-tier latency reservoir (smaller: one per precision tier).
-const TIER_RESERVOIR: usize = 16_384;
+/// Completed queries whose stage spans are kept for the slowest-N
+/// trace view (a preallocated ring; recording is a slot memcpy).
+const SPAN_RING_CAPACITY: usize = 512;
 
 /// Per-precision-tier serving statistics, one entry per tier observed.
 ///
@@ -31,33 +42,133 @@ pub struct TierMetrics {
     pub latency_p99: Duration,
 }
 
-/// Mutable per-tier counters, keyed by tier label.
-#[derive(Debug)]
-struct TierInner {
-    label: String,
-    served: u64,
-    failed: u64,
-    latencies_us: Vec<u64>,
-    next_slot: usize,
+/// Where one answered request spent its time, stage by stage.
+///
+/// `queue`, `coalesce`, `engine` and `merge` are exact wall intervals
+/// measured on the serving path. `decode`/`score` (exact tier) and
+/// `prune`/`rescore` (pruned tier) subdivide the engine interval using
+/// the core engine's `obs_hooks` deltas: exact when queries are
+/// dispatched one at a time, an aggregate attribution under concurrent
+/// batches, and all-zero unless the workspace is built with the
+/// `obs-trace` feature. For a batched request, `engine` is the whole
+/// batch's engine wall time (the request really was in the engine that
+/// long).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct StageBreakdown {
+    /// Submission-queue wait: admission until the batcher took it.
+    pub queue: Duration,
+    /// Batcher coalescing: taken until the batch dispatched.
+    pub coalesce: Duration,
+    /// Engine wall time for the batch (max across shard workers).
+    pub engine: Duration,
+    /// Packet-decode share of `engine` (exact tier, `obs-trace` only).
+    pub decode: Duration,
+    /// Scoring share of `engine` (exact tier, `obs-trace` only).
+    pub score: Duration,
+    /// Prune-pass share of `engine` (pruned tier, `obs-trace` only).
+    pub prune: Duration,
+    /// Exact-rescore share of `engine` (pruned tier, `obs-trace` only).
+    pub rescore: Duration,
+    /// Cross-shard top-k merge for this request.
+    pub merge: Duration,
 }
 
-impl TierInner {
-    fn new(label: &str) -> Self {
-        Self {
-            label: label.to_string(),
-            served: 0,
-            failed: 0,
-            latencies_us: Vec::new(),
-            next_slot: 0,
-        }
+impl StageBreakdown {
+    /// `(stage, duration)` for every non-zero stage, pipeline order.
+    pub fn present(&self) -> Vec<(Stage, Duration)> {
+        [
+            (Stage::Queue, self.queue),
+            (Stage::Coalesce, self.coalesce),
+            (Stage::Decode, self.decode),
+            (Stage::Score, self.score),
+            (Stage::Prune, self.prune),
+            (Stage::Rescore, self.rescore),
+            (Stage::Merge, self.merge),
+        ]
+        .into_iter()
+        .filter(|(_, d)| !d.is_zero())
+        .collect()
     }
+
+    /// Lays the stages out as sequential spans inside a query of
+    /// `total_us` microseconds: queue, coalesce, then the engine
+    /// sub-stages (scaled down if the hook attributions overshoot the
+    /// engine wall), then merge — truncated so the record never
+    /// escapes `[0, total_us]` and span durations always sum to at
+    /// most the total.
+    pub fn to_span_record(&self, trace_id: TraceId, total: Duration) -> SpanRecord {
+        let total_us = u32::try_from(total.as_micros()).unwrap_or(u32::MAX);
+        let mut rec = SpanRecord::new(trace_id, total_us);
+        let mut cursor: u64 = 0;
+        fn push(rec: &mut SpanRecord, cursor: &mut u64, total_us: u32, stage: Stage, d: Duration) {
+            let dur = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+            let start = (*cursor).min(u64::from(total_us));
+            let dur = dur.min(u64::from(total_us) - start);
+            rec.push(stage, start as u32, dur as u32);
+            *cursor = start + dur;
+        }
+        push(&mut rec, &mut cursor, total_us, Stage::Queue, self.queue);
+        push(
+            &mut rec,
+            &mut cursor,
+            total_us,
+            Stage::Coalesce,
+            self.coalesce,
+        );
+        // Engine sub-stages: scale the hook attributions into the
+        // engine wall interval so they can never overshoot it.
+        let sub: [(Stage, Duration); 4] = [
+            (Stage::Decode, self.decode),
+            (Stage::Score, self.score),
+            (Stage::Prune, self.prune),
+            (Stage::Rescore, self.rescore),
+        ];
+        let sub_total: Duration = sub.iter().map(|(_, d)| *d).sum();
+        let scale = if sub_total > self.engine && !sub_total.is_zero() {
+            self.engine.as_secs_f64() / sub_total.as_secs_f64()
+        } else {
+            1.0
+        };
+        let engine_start = cursor;
+        if sub_total.is_zero() {
+            // No attribution available (obs-trace off): one engine span.
+            push(&mut rec, &mut cursor, total_us, Stage::Score, self.engine);
+        } else {
+            for (stage, d) in sub {
+                push(&mut rec, &mut cursor, total_us, stage, d.mul_f64(scale));
+            }
+            // Advance past any unattributed engine remainder so merge
+            // starts after the engine interval.
+            cursor = cursor
+                .max(engine_start + u64::try_from(self.engine.as_micros()).unwrap_or(u64::MAX));
+        }
+        push(&mut rec, &mut cursor, total_us, Stage::Merge, self.merge);
+        rec
+    }
+}
+
+/// Aggregate view of one pipeline stage across all completed requests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct StageStat {
+    /// Stable stage name (`queue`, `decode`, ...).
+    pub stage: &'static str,
+    /// Requests that recorded a non-zero duration for this stage.
+    pub count: u64,
+    /// Sum of the stage's durations across those requests.
+    pub total: Duration,
+    /// Mean stage duration.
+    pub mean: Duration,
+    /// 95th-percentile stage duration.
+    pub p95: Duration,
 }
 
 /// A point-in-time snapshot of a service's behaviour since start-up.
 ///
-/// Taken with `TopKService::metrics` (cheap: one mutex and a sort of a
-/// bounded latency reservoir) and returned by `TopKService::shutdown`
-/// as the final account.
+/// Taken with `TopKService::metrics` (cheap: O(histogram buckets), no
+/// sample sort, no long-held lock) and returned by
+/// `TopKService::shutdown` as the final account.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct ServiceMetrics {
@@ -81,8 +192,9 @@ pub struct ServiceMetrics {
     /// batch-amortisation curve: with a matrix-major engine the mean
     /// grows far slower than linearly in the batch size.
     pub engine_time_by_size: Vec<(usize, Duration)>,
-    /// Median end-to-end latency (submission to response) over the
-    /// recent-sample reservoir.
+    /// Median end-to-end latency (submission to response). Histogram
+    /// percentiles: quantised to the containing log-bucket's upper
+    /// bound (relative error ≤ 1/16), never aged out.
     pub latency_p50: Duration,
     /// 95th-percentile end-to-end latency.
     pub latency_p95: Duration,
@@ -110,264 +222,367 @@ pub struct ServiceMetrics {
     /// Per-precision-tier counts and latency percentiles, sorted by tier
     /// label. Empty until the first request completes.
     pub tiers: Vec<TierMetrics>,
+    /// Per-stage time attribution across completed requests, pipeline
+    /// order, non-zero stages only. The per-stage breakdown table the
+    /// serve/fabric benches print comes from here.
+    pub stages: Vec<StageStat>,
 }
 
-/// Mutable counters behind the service's metrics mutex.
-#[derive(Debug)]
-pub(crate) struct MetricsInner {
-    started: Instant,
-    latencies_us: Vec<u64>,
-    next_slot: usize,
-    served: u64,
-    failed: u64,
-    shed: u64,
-    batches: u64,
+/// One tier's cached metric handles (so recording a request touches
+/// the tier mutex only for a short label scan, not the registry).
+struct TierSlot {
+    label: String,
+    served: Arc<Counter>,
+    failed: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+/// Batch-shape vectors: tiny, O(1) per record, still mutex-guarded —
+/// but never sorted and never scanned while holding any lock a
+/// completion path waits on for long.
+#[derive(Default)]
+struct BatchShape {
     /// `batch_hist[s]` = batches dispatched holding exactly `s` queries.
     batch_hist: Vec<u64>,
     /// `engine_us_by_size[s]` = total backend µs spent on batches of
     /// exactly `s` queries (parallel to `batch_hist`).
     engine_us_by_size: Vec<u64>,
-    /// Total backend µs across all batches.
-    engine_us_total: u64,
-    /// Current collection epoch and the number of swaps that produced it.
-    epoch: u64,
-    swaps: u64,
-    /// Per-tier counters; a handful of tiers at most, so a linear scan
-    /// by label beats map overhead.
-    tiers: Vec<TierInner>,
 }
 
-impl MetricsInner {
+/// Serve-level stages tracked in per-stage histograms, pipeline order.
+const SERVE_STAGES: [Stage; 7] = [
+    Stage::Queue,
+    Stage::Coalesce,
+    Stage::Decode,
+    Stage::Score,
+    Stage::Prune,
+    Stage::Rescore,
+    Stage::Merge,
+];
+
+/// The service's metric state. Recording served/failed/shed and
+/// latencies is lock-free (atomics + striped histograms); only the
+/// batch-shape vectors and the tier-slot list take a short mutex.
+pub(crate) struct MetricsShared {
+    started: Instant,
+    registry: Registry,
+    served: Arc<Counter>,
+    failed: Arc<Counter>,
+    shed: Arc<Counter>,
+    batches: Arc<Counter>,
+    engine_us_total: Arc<Counter>,
+    swaps: Arc<Counter>,
+    epoch: Arc<Gauge>,
+    wakeups_gauge: Arc<Gauge>,
+    latency: Arc<Histogram>,
+    stage_hists: Vec<Arc<Histogram>>,
+    spans: SpanRing,
+    batch_shape: Mutex<BatchShape>,
+    tiers: Mutex<Vec<TierSlot>>,
+    /// Current epoch id mirrored for the snapshot (gauge is i64).
+    epoch_raw: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsShared {
     pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        let served = registry.counter_with(
+            "tkspmv_serve_requests_total",
+            "Requests by outcome.",
+            &[("outcome", "served")],
+        );
+        let failed = registry.counter_with(
+            "tkspmv_serve_requests_total",
+            "Requests by outcome.",
+            &[("outcome", "failed")],
+        );
+        let shed = registry.counter_with(
+            "tkspmv_serve_requests_total",
+            "Requests by outcome.",
+            &[("outcome", "shed")],
+        );
+        let batches = registry.counter("tkspmv_serve_batches_total", "Backend batches dispatched.");
+        let engine_us_total = registry.counter(
+            "tkspmv_serve_engine_microseconds_total",
+            "Backend batch-call time summed across shards and batches.",
+        );
+        let swaps = registry.counter("tkspmv_serve_swaps_total", "Collection hot swaps.");
+        let epoch = registry.gauge("tkspmv_serve_epoch", "Collection epoch being served.");
+        let wakeups_gauge = registry.gauge(
+            "tkspmv_serve_batcher_wakeups",
+            "Batcher thread wake-ups since start-up.",
+        );
+        let latency = registry.histogram(
+            "tkspmv_serve_latency_seconds",
+            "End-to-end request latency (admission to response).",
+        );
+        let stage_hists = SERVE_STAGES
+            .iter()
+            .map(|s| {
+                registry.histogram_with(
+                    "tkspmv_serve_stage_seconds",
+                    "Per-request stage durations.",
+                    &[("stage", s.name())],
+                )
+            })
+            .collect();
         Self {
             started: Instant::now(),
-            latencies_us: Vec::new(),
-            next_slot: 0,
-            served: 0,
-            failed: 0,
-            shed: 0,
-            batches: 0,
-            batch_hist: Vec::new(),
-            engine_us_by_size: Vec::new(),
-            engine_us_total: 0,
-            epoch: 0,
-            swaps: 0,
-            tiers: Vec::new(),
+            registry,
+            served,
+            failed,
+            shed,
+            batches,
+            engine_us_total,
+            swaps,
+            epoch,
+            wakeups_gauge,
+            latency,
+            stage_hists,
+            spans: SpanRing::new(SPAN_RING_CAPACITY),
+            batch_shape: Mutex::new(BatchShape::default()),
+            tiers: Mutex::new(Vec::new()),
+            epoch_raw: AtomicU64::new(0),
         }
     }
 
-    fn tier_entry(&mut self, label: &str) -> &mut TierInner {
-        if let Some(i) = self.tiers.iter().position(|t| t.label == label) {
-            &mut self.tiers[i]
-        } else {
-            self.tiers.push(TierInner::new(label));
-            self.tiers.last_mut().expect("just pushed")
+    /// Cached per-tier handles (get-or-create; a handful of tiers at
+    /// most, so a linear label scan beats map overhead).
+    fn tier_slot(&self, label: &str) -> (Arc<Counter>, Arc<Counter>, Arc<Histogram>) {
+        let mut tiers = lock(&self.tiers);
+        if let Some(t) = tiers.iter().find(|t| t.label == label) {
+            return (
+                Arc::clone(&t.served),
+                Arc::clone(&t.failed),
+                Arc::clone(&t.latency),
+            );
         }
+        let slot = TierSlot {
+            label: label.to_string(),
+            served: self.registry.counter_with(
+                "tkspmv_serve_tier_requests_total",
+                "Requests by tier and outcome.",
+                &[("tier", label), ("outcome", "served")],
+            ),
+            failed: self.registry.counter_with(
+                "tkspmv_serve_tier_requests_total",
+                "Requests by tier and outcome.",
+                &[("tier", label), ("outcome", "failed")],
+            ),
+            latency: self.registry.histogram_with(
+                "tkspmv_serve_tier_latency_seconds",
+                "End-to-end latency by tier.",
+                &[("tier", label)],
+            ),
+        };
+        let out = (
+            Arc::clone(&slot.served),
+            Arc::clone(&slot.failed),
+            Arc::clone(&slot.latency),
+        );
+        tiers.push(slot);
+        out
     }
 
-    pub(crate) fn record_served(&mut self, latency: Duration, tier: &str) {
-        self.served += 1;
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        if self.latencies_us.len() < LATENCY_RESERVOIR {
-            self.latencies_us.push(us);
-        } else {
-            self.latencies_us[self.next_slot] = us;
-            self.next_slot = (self.next_slot + 1) % LATENCY_RESERVOIR;
-        }
-        let entry = self.tier_entry(tier);
-        entry.served += 1;
-        if entry.latencies_us.len() < TIER_RESERVOIR {
-            entry.latencies_us.push(us);
-        } else {
-            entry.latencies_us[entry.next_slot] = us;
-            entry.next_slot = (entry.next_slot + 1) % TIER_RESERVOIR;
-        }
+    pub(crate) fn record_served(&self, latency: Duration, tier: &str) {
+        self.served.inc();
+        self.latency.record(latency);
+        let (served, _, tier_latency) = self.tier_slot(tier);
+        served.inc();
+        tier_latency.record(latency);
     }
 
-    pub(crate) fn record_failed(&mut self, requests: u64, tier: &str) {
-        self.failed += requests;
-        self.tier_entry(tier).failed += requests;
+    pub(crate) fn record_failed(&self, requests: u64, tier: &str) {
+        self.failed.add(requests);
+        let (_, failed, _) = self.tier_slot(tier);
+        failed.add(requests);
     }
 
-    pub(crate) fn record_shed(&mut self) {
-        self.shed += 1;
+    pub(crate) fn record_shed(&self) {
+        self.shed.inc();
     }
 
-    pub(crate) fn record_batch(&mut self, size: usize, engine_time: Duration) {
-        self.batches += 1;
-        if self.batch_hist.len() <= size {
-            self.batch_hist.resize(size + 1, 0);
-            self.engine_us_by_size.resize(size + 1, 0);
-        }
-        self.batch_hist[size] += 1;
+    pub(crate) fn record_batch(&self, size: usize, engine_time: Duration) {
+        self.batches.inc();
         let us = u64::try_from(engine_time.as_micros()).unwrap_or(u64::MAX);
-        self.engine_us_by_size[size] = self.engine_us_by_size[size].saturating_add(us);
-        self.engine_us_total = self.engine_us_total.saturating_add(us);
+        self.engine_us_total.add(us);
+        let mut shape = lock(&self.batch_shape);
+        if shape.batch_hist.len() <= size {
+            shape.batch_hist.resize(size + 1, 0);
+            shape.engine_us_by_size.resize(size + 1, 0);
+        }
+        shape.batch_hist[size] += 1;
+        shape.engine_us_by_size[size] = shape.engine_us_by_size[size].saturating_add(us);
     }
 
-    pub(crate) fn record_swap(&mut self, new_epoch: u64) {
-        self.swaps += 1;
-        self.epoch = new_epoch;
+    pub(crate) fn record_swap(&self, new_epoch: u64) {
+        self.swaps.inc();
+        self.epoch_raw.store(new_epoch, Ordering::Relaxed);
+        self.epoch.set(i64::try_from(new_epoch).unwrap_or(i64::MAX));
+    }
+
+    /// Records one completed request's stage breakdown: per-stage
+    /// histograms plus a slot in the slowest-N span ring.
+    pub(crate) fn record_stages(
+        &self,
+        stages: &StageBreakdown,
+        total: Duration,
+        trace_id: TraceId,
+    ) {
+        for (stage, d) in stages.present() {
+            if let Some(i) = SERVE_STAGES.iter().position(|s| *s == stage) {
+                self.stage_hists[i].record(d);
+            }
+        }
+        // Mirror `to_span_record`: with no engine-internal attribution
+        // (obs-trace off) the whole engine interval lands on `score`, so
+        // the stage table still accounts for engine time.
+        let attributed = !(stages.decode + stages.score + stages.prune + stages.rescore).is_zero();
+        if !attributed && !stages.engine.is_zero() {
+            if let Some(i) = SERVE_STAGES.iter().position(|s| *s == Stage::Score) {
+                self.stage_hists[i].record(stages.engine);
+            }
+        }
+        self.spans.record(&stages.to_span_record(trace_id, total));
+    }
+
+    /// Records a caller-assembled span record into the slowest-N ring
+    /// (the fabric node re-records traced queries under their real
+    /// trace id; the in-service record carries [`TraceId::ZERO`]).
+    pub(crate) fn record_span(&self, rec: &SpanRecord) {
+        self.spans.record(rec);
+    }
+
+    /// The slowest-`n` recorded queries' span records, descending by
+    /// end-to-end latency.
+    pub(crate) fn slowest_spans(&self, n: usize) -> Vec<SpanRecord> {
+        self.spans.slowest(n)
+    }
+
+    /// Renders every serve metric in Prometheus plaintext exposition
+    /// format.
+    pub(crate) fn render(&self, batcher_wakeups: u64) -> String {
+        self.wakeups_gauge
+            .set(i64::try_from(batcher_wakeups).unwrap_or(i64::MAX));
+        self.registry.render()
     }
 
     pub(crate) fn snapshot(&self, batcher_wakeups: u64) -> ServiceMetrics {
-        let mut sorted = self.latencies_us.clone();
-        sorted.sort_unstable();
         let uptime = self.started.elapsed();
-        let weighted: u64 = self
-            .batch_hist
-            .iter()
-            .enumerate()
-            .map(|(size, &count)| size as u64 * count)
-            .sum();
-        ServiceMetrics {
-            served: self.served,
-            failed: self.failed,
-            shed: self.shed,
-            batches: self.batches,
-            engine_time_total: Duration::from_micros(self.engine_us_total),
-            mean_engine_time_per_batch: Duration::from_micros(
-                self.engine_us_total.checked_div(self.batches).unwrap_or(0),
-            ),
-            engine_time_by_size: self
-                .batch_hist
-                .iter()
-                .enumerate()
-                .filter(|&(_, &count)| count > 0)
-                .map(|(size, &count)| {
-                    (
-                        size,
-                        Duration::from_micros(self.engine_us_by_size[size] / count),
-                    )
-                })
-                .collect(),
-            latency_p50: percentile(&sorted, 0.50),
-            latency_p95: percentile(&sorted, 0.95),
-            latency_p99: percentile(&sorted, 0.99),
-            mean_batch_size: if self.batches == 0 {
-                0.0
-            } else {
-                weighted as f64 / self.batches as f64
-            },
-            batch_size_histogram: self
+        let served = self.served.get();
+        let batches = self.batches.get();
+        let engine_us = self.engine_us_total.get();
+        let latency = self.latency.snapshot();
+        let (batch_size_histogram, engine_time_by_size, weighted) = {
+            let shape = lock(&self.batch_shape);
+            let hist: Vec<(usize, u64)> = shape
                 .batch_hist
                 .iter()
                 .enumerate()
                 .filter(|&(_, &count)| count > 0)
                 .map(|(size, &count)| (size, count))
-                .collect(),
+                .collect();
+            let by_size: Vec<(usize, Duration)> = hist
+                .iter()
+                .map(|&(size, count)| {
+                    (
+                        size,
+                        Duration::from_micros(shape.engine_us_by_size[size] / count),
+                    )
+                })
+                .collect();
+            let weighted: u64 = hist.iter().map(|&(size, count)| size as u64 * count).sum();
+            (hist, by_size, weighted)
+        };
+        let tiers = {
+            let slots = lock(&self.tiers);
+            let mut tiers: Vec<TierMetrics> = slots
+                .iter()
+                .map(|t| {
+                    let snap = t.latency.snapshot();
+                    TierMetrics {
+                        tier: t.label.clone(),
+                        served: t.served.get(),
+                        failed: t.failed.get(),
+                        latency_p50: snap.percentile(0.50),
+                        latency_p95: snap.percentile(0.95),
+                        latency_p99: snap.percentile(0.99),
+                    }
+                })
+                .collect();
+            tiers.sort_by(|a, b| a.tier.cmp(&b.tier));
+            tiers
+        };
+        let stages = SERVE_STAGES
+            .iter()
+            .zip(&self.stage_hists)
+            .filter_map(|(stage, h)| {
+                let snap = h.snapshot();
+                (snap.count > 0).then(|| StageStat {
+                    stage: stage.name(),
+                    count: snap.count,
+                    total: Duration::from_micros(snap.sum_us),
+                    mean: snap.mean(),
+                    p95: snap.percentile(0.95),
+                })
+            })
+            .collect();
+        ServiceMetrics {
+            served,
+            failed: self.failed.get(),
+            shed: self.shed.get(),
+            batches,
+            engine_time_total: Duration::from_micros(engine_us),
+            mean_engine_time_per_batch: Duration::from_micros(
+                engine_us.checked_div(batches).unwrap_or(0),
+            ),
+            engine_time_by_size,
+            latency_p50: latency.percentile(0.50),
+            latency_p95: latency.percentile(0.95),
+            latency_p99: latency.percentile(0.99),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                weighted as f64 / batches as f64
+            },
+            batch_size_histogram,
             throughput_qps: if uptime.is_zero() {
                 0.0
             } else {
-                self.served as f64 / uptime.as_secs_f64()
+                served as f64 / uptime.as_secs_f64()
             },
             uptime,
-            epoch: self.epoch,
-            swaps: self.swaps,
+            epoch: self.epoch_raw.load(Ordering::Relaxed),
+            swaps: self.swaps.get(),
             batcher_wakeups,
-            tiers: {
-                let mut tiers: Vec<TierMetrics> = self
-                    .tiers
-                    .iter()
-                    .map(|t| {
-                        let mut sorted = t.latencies_us.clone();
-                        sorted.sort_unstable();
-                        TierMetrics {
-                            tier: t.label.clone(),
-                            served: t.served,
-                            failed: t.failed,
-                            latency_p50: percentile(&sorted, 0.50),
-                            latency_p95: percentile(&sorted, 0.95),
-                            latency_p99: percentile(&sorted, 0.99),
-                        }
-                    })
-                    .collect();
-                tiers.sort_by(|a, b| a.tier.cmp(&b.tier));
-                tiers
-            },
+            tiers,
+            stages,
         }
     }
-}
-
-/// Nearest-rank percentile over an ascending-sorted sample.
-///
-/// `Duration::ZERO` only for an empty window; any non-empty sample
-/// returns an observed latency. The rank is `ceil(q * n)` with a slop
-/// guard so binary-float products that land epsilon above an integer
-/// (e.g. `0.95 * 20 = 19.000000000000004`) still resolve to that
-/// integer rank, and the result is clamped into `1..=n` — so the p99 of
-/// one or two samples is the max, never an out-of-range index and never
-/// rounded down to the min.
-fn percentile(sorted_us: &[u64], q: f64) -> Duration {
-    let n = sorted_us.len();
-    if n == 0 {
-        return Duration::ZERO;
-    }
-    let rank = (q * n as f64 - 1e-9).ceil() as usize;
-    Duration::from_micros(sorted_us[rank.clamp(1, n) - 1])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        let sample: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&sample, 0.50), Duration::from_micros(50));
-        assert_eq!(percentile(&sample, 0.95), Duration::from_micros(95));
-        assert_eq!(percentile(&sample, 0.99), Duration::from_micros(99));
-        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
-        assert_eq!(percentile(&[7], 0.99), Duration::from_micros(7));
-    }
-
-    #[test]
-    fn tiny_samples_pin_high_percentiles_to_the_max() {
-        // One sample: every percentile is that sample.
-        for q in [0.5, 0.95, 0.99, 1.0] {
-            assert_eq!(percentile(&[42], q), Duration::from_micros(42), "q={q}");
-        }
-        // Two samples: p95/p99 are the max (rank ceil(q*2) = 2), p50 is
-        // the lower sample (rank 1) — never the min for the tails, never
-        // out of range.
-        assert_eq!(percentile(&[10, 90], 0.50), Duration::from_micros(10));
-        assert_eq!(percentile(&[10, 90], 0.95), Duration::from_micros(90));
-        assert_eq!(percentile(&[10, 90], 0.99), Duration::from_micros(90));
-        // Three samples: p99 rank = ceil(2.97) = 3.
-        assert_eq!(percentile(&[1, 2, 3], 0.99), Duration::from_micros(3));
-    }
-
-    #[test]
-    fn rank_arithmetic_survives_float_slop() {
-        // 0.95 * 20 rounds to 19.000000000000004 in f64; a naive ceil
-        // would yield rank 20 and report the p100 as the p95.
-        let sample: Vec<u64> = (1..=20).collect();
-        assert_eq!(percentile(&sample, 0.95), Duration::from_micros(19));
-        // And across a sweep of sizes, the nearest rank is exact.
-        for n in 1..=64u64 {
-            let sample: Vec<u64> = (1..=n).collect();
-            for (q, num) in [(0.5, 1u64), (0.95, 19), (0.99, 99)] {
-                let den: u64 = match num {
-                    1 => 2,
-                    19 => 20,
-                    _ => 100,
-                };
-                let expected = (n * num).div_ceil(den).clamp(1, n);
-                assert_eq!(
-                    percentile(&sample, q),
-                    Duration::from_micros(expected),
-                    "q={q} n={n}"
-                );
-            }
-        }
-        // Degenerate q values stay in range.
-        assert_eq!(percentile(&[5, 6], 0.0), Duration::from_micros(5));
-        assert_eq!(percentile(&[5, 6], 1.0), Duration::from_micros(6));
+    /// Histogram percentiles land on the containing log-bucket's upper
+    /// bound: within 1/8 above the exact value (1/16 bucket width plus
+    /// integer slack).
+    fn assert_close(got: Duration, exact_us: u64, what: &str) {
+        let got = got.as_micros() as u64;
+        assert!(
+            got >= exact_us && got <= exact_us + exact_us / 8 + 1,
+            "{what}: got {got}µs, exact {exact_us}µs"
+        );
     }
 
     #[test]
     fn snapshot_aggregates_counters() {
-        let mut m = MetricsInner::new();
+        let m = MetricsShared::new();
         for us in [100u64, 200, 300, 400] {
             m.record_served(Duration::from_micros(us), "exact");
         }
@@ -381,7 +596,7 @@ mod tests {
         assert_eq!(s.failed, 2);
         assert_eq!(s.shed, 1);
         assert_eq!(s.batches, 3);
-        assert_eq!(s.latency_p50, Duration::from_micros(200));
+        assert_close(s.latency_p50, 200, "p50");
         assert!(s.latency_p50 <= s.latency_p95 && s.latency_p95 <= s.latency_p99);
         assert_eq!(s.batch_size_histogram, vec![(1, 1), (3, 2)]);
         assert!((s.mean_batch_size - 7.0 / 3.0).abs() < 1e-12);
@@ -400,25 +615,14 @@ mod tests {
     }
 
     #[test]
-    fn latency_reservoir_is_bounded() {
-        let mut m = MetricsInner::new();
-        for i in 0..(LATENCY_RESERVOIR as u64 + 10) {
-            m.record_served(Duration::from_micros(i), "exact");
-        }
-        assert_eq!(m.latencies_us.len(), LATENCY_RESERVOIR);
-        assert_eq!(m.snapshot(0).served, LATENCY_RESERVOIR as u64 + 10);
-        // The per-tier reservoir is bounded independently.
-        assert_eq!(m.tiers[0].latencies_us.len(), TIER_RESERVOIR);
-    }
-
-    #[test]
     fn empty_metrics_snapshot_is_all_zero() {
-        let s = MetricsInner::new().snapshot(0);
+        let s = MetricsShared::new().snapshot(0);
         assert_eq!(s.served, 0);
         assert_eq!(s.mean_batch_size, 0.0);
         assert_eq!(s.latency_p99, Duration::ZERO);
         assert!(s.batch_size_histogram.is_empty());
         assert!(s.tiers.is_empty());
+        assert!(s.stages.is_empty());
         assert_eq!(s.engine_time_total, Duration::ZERO);
         assert_eq!(s.mean_engine_time_per_batch, Duration::ZERO);
         assert!(s.engine_time_by_size.is_empty());
@@ -426,7 +630,7 @@ mod tests {
 
     #[test]
     fn tiers_are_accounted_separately_and_sorted() {
-        let mut m = MetricsInner::new();
+        let m = MetricsShared::new();
         m.record_served(Duration::from_micros(900), "pruned-c4");
         m.record_served(Duration::from_micros(100), "exact");
         m.record_served(Duration::from_micros(200), "exact");
@@ -438,9 +642,171 @@ mod tests {
         assert_eq!(labels, ["exact", "pruned-c4"]);
         let exact = &s.tiers[0];
         assert_eq!((exact.served, exact.failed), (2, 0));
-        assert_eq!(exact.latency_p50, Duration::from_micros(100));
+        assert_close(exact.latency_p50, 100, "exact p50");
         let pruned = &s.tiers[1];
         assert_eq!((pruned.served, pruned.failed), (1, 1));
-        assert_eq!(pruned.latency_p99, Duration::from_micros(900));
+        assert_close(pruned.latency_p99, 900, "pruned p99");
+    }
+
+    #[test]
+    fn nothing_ages_out_under_sustained_load() {
+        // The old reservoir overwrote its oldest samples, so a burst of
+        // early slow requests vanished from the percentiles. Histograms
+        // keep everything: 100 slow samples stay visible as the p99
+        // even after 100k fast ones.
+        let m = MetricsShared::new();
+        for _ in 0..100 {
+            m.record_served(Duration::from_millis(80), "exact");
+        }
+        for _ in 0..100_000 {
+            m.record_served(Duration::from_micros(150), "exact");
+        }
+        let s = m.snapshot(0);
+        assert_close(s.latency_p50, 150, "p50 is the fast mode");
+        // p99.95 rank falls in the slow tail.
+        assert!(
+            m.latency.snapshot().percentile(0.9995) >= Duration::from_millis(80),
+            "slow burst must never age out"
+        );
+    }
+
+    /// Satellite regression: snapshot cost is O(buckets), independent
+    /// of how many samples were ever recorded. The old implementation
+    /// cloned + sorted its reservoir under the metrics mutex, so its
+    /// snapshot cost grew with (bounded) sample count and stalled
+    /// recorders; the histogram snapshot reads a fixed number of
+    /// atomics whether 10k or 1M samples were recorded.
+    #[test]
+    fn snapshot_work_is_independent_of_sample_count() {
+        let timed_snapshot = |m: &MetricsShared| {
+            let mut best = Duration::MAX;
+            for _ in 0..5 {
+                let t = Instant::now();
+                std::hint::black_box(m.snapshot(0));
+                best = best.min(t.elapsed());
+            }
+            best
+        };
+        let m = MetricsShared::new();
+        for i in 0..10_000u64 {
+            m.record_served(Duration::from_micros(i % 1000), "exact");
+        }
+        let small = timed_snapshot(&m);
+        for i in 0..1_000_000u64 {
+            m.record_served(Duration::from_micros(i % 1000), "exact");
+        }
+        let large = timed_snapshot(&m);
+        // Identical work modulo noise; a sort-the-samples design would
+        // scale with the retained sample count. Generous bound to stay
+        // robust on a loaded CI box.
+        assert!(
+            large < small * 20 + Duration::from_millis(2),
+            "snapshot scaled with sample count: {small:?} -> {large:?}"
+        );
+    }
+
+    /// Satellite regression: concurrent snapshots must not inflate the
+    /// percentiles other threads observe. (The old reservoir snapshot
+    /// held the metrics mutex through a 65k-element sort; this test
+    /// hammers snapshots from one thread while another records a
+    /// constant latency, and p99 must stay at that constant.)
+    #[test]
+    fn concurrent_snapshots_do_not_inflate_p99() {
+        let m = Arc::new(MetricsShared::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let storm = {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut snaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(m.snapshot(0));
+                    snaps += 1;
+                }
+                snaps
+            })
+        };
+        for _ in 0..50_000 {
+            m.record_served(Duration::from_micros(400), "exact");
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snaps = storm.join().expect("snapshot storm thread");
+        assert!(snaps > 0);
+        let s = m.snapshot(0);
+        assert_eq!(s.served, 50_000);
+        assert_close(s.latency_p99, 400, "p99 under snapshot storm");
+    }
+
+    #[test]
+    fn stage_breakdown_spans_stay_inside_the_query() {
+        let b = StageBreakdown {
+            queue: Duration::from_micros(100),
+            coalesce: Duration::from_micros(50),
+            engine: Duration::from_micros(400),
+            decode: Duration::from_micros(300),
+            score: Duration::from_micros(300), // decode+score overshoot engine
+            prune: Duration::ZERO,
+            rescore: Duration::ZERO,
+            merge: Duration::from_micros(30),
+        };
+        let total = Duration::from_micros(600);
+        let rec = b.to_span_record(TraceId::ZERO, total);
+        let sum: u64 = rec.spans().iter().map(|s| u64::from(s.dur_us)).sum();
+        assert!(sum <= 600, "span durations exceed the query total: {sum}");
+        for s in rec.spans() {
+            assert!(u64::from(s.start_us) + u64::from(s.dur_us) <= 600);
+        }
+        // The overshooting engine attribution was scaled into the wall.
+        let decode = rec
+            .spans()
+            .iter()
+            .find(|s| s.stage == Stage::Decode)
+            .expect("decode span");
+        assert!(decode.dur_us <= 400);
+    }
+
+    #[test]
+    fn stage_records_populate_histograms_and_ring() {
+        let m = MetricsShared::new();
+        let b = StageBreakdown {
+            queue: Duration::from_micros(120),
+            engine: Duration::from_micros(300),
+            merge: Duration::from_micros(40),
+            ..Default::default()
+        };
+        m.record_stages(&b, Duration::from_micros(500), TraceId::generate());
+        let s = m.snapshot(0);
+        let names: Vec<&str> = s.stages.iter().map(|st| st.stage).collect();
+        assert!(names.contains(&"queue"));
+        assert!(names.contains(&"merge"));
+        // No attribution sub-split: the engine interval lands on score.
+        assert!(names.contains(&"score"));
+        assert_eq!(m.slowest_spans(5).len(), 1);
+        assert_eq!(m.slowest_spans(5)[0].total_us, 500);
+    }
+
+    #[test]
+    fn render_is_valid_exposition_with_core_series() {
+        let m = MetricsShared::new();
+        m.record_served(Duration::from_micros(250), "exact");
+        m.record_batch(1, Duration::from_micros(100));
+        m.record_swap(3);
+        let page = m.render(7);
+        let names = tkspmv_obs::validate_exposition(&page).expect("valid exposition");
+        for want in [
+            "tkspmv_serve_requests_total",
+            "tkspmv_serve_batches_total",
+            "tkspmv_serve_latency_seconds_bucket",
+            "tkspmv_serve_latency_seconds_count",
+            "tkspmv_serve_epoch",
+            "tkspmv_serve_batcher_wakeups",
+        ] {
+            assert!(
+                names.iter().any(|n| n == want),
+                "missing series {want} in:\n{page}"
+            );
+        }
+        assert!(page.contains("outcome=\"served\""));
+        assert!(page.contains("tier=\"exact\""));
     }
 }

@@ -14,7 +14,7 @@ use tkspmv_sparse::{Csr, DenseVector};
 
 use crate::batch::BatchPolicy;
 use crate::error::ServeError;
-use crate::metrics::{MetricsInner, ServiceMetrics};
+use crate::metrics::{MetricsShared, ServiceMetrics, StageBreakdown};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked —
 /// the serving loops must keep running through backend panics.
@@ -45,6 +45,10 @@ pub struct ServedResult {
     pub batch_size: usize,
     /// The precision tier this request was answered at.
     pub tier: QueryTier,
+    /// Where the request spent its time, stage by stage (queue wait,
+    /// batch coalesce, engine — with decode/prune/rescore attribution
+    /// when the `obs-trace` feature is on — and cross-shard merge).
+    pub stages: StageBreakdown,
 }
 
 /// A claim on an in-flight request, returned by [`TopKService::submit`].
@@ -100,6 +104,11 @@ struct Pending {
     /// tiers inside one backend batch.
     tier: QueryTier,
     enqueued: Instant,
+    /// When the batcher moved this request out of the submission queue
+    /// and into a forming batch (= `enqueued` until that happens).
+    /// Queue wait is `extracted - enqueued`; coalesce wait is
+    /// `dispatched - extracted`.
+    extracted: Instant,
     /// The collection generation this request was admitted against.
     epoch: Arc<Epoch>,
     tx: mpsc::Sender<Result<ServedResult, ServeError>>,
@@ -108,6 +117,10 @@ struct Pending {
 /// The response half of a batched request.
 struct Responder {
     enqueued: Instant,
+    /// Time spent in the submission queue before joining a batch.
+    queue_wait: Duration,
+    /// Time spent in the forming batch before dispatch.
+    coalesce_wait: Duration,
     tx: mpsc::Sender<Result<ServedResult, ServeError>>,
 }
 
@@ -135,6 +148,14 @@ struct Job {
     /// shards — the engine's share of the batch, excluding queue wait
     /// and merge.
     engine_us: AtomicU64,
+    /// Engine *wall* time in µs: the slowest shard's batch call
+    /// (shards run in parallel, so this — not the sum — is how long
+    /// the batch actually sat in the engine).
+    engine_wall_us: AtomicU64,
+    /// Engine-stage attribution deltas from `tkspmv::obs_hooks`
+    /// (decode/score/prune/rescore ns), summed over shard workers.
+    /// All zero unless the `obs-trace` feature is on.
+    hook_ns: [AtomicU64; tkspmv::obs_hooks::NUM_STAGES],
 }
 
 impl Job {
@@ -163,20 +184,18 @@ impl Job {
                 }
             }
         }
-        // Merge first, record, then respond. The metrics lock is taken
-        // only to bump counters — it is shared with submit()'s shed
-        // accounting, so holding it across per-query sorts would stall
-        // submitters and other finishing batches service-wide. Recording
-        // *before* the sends keeps a blocking caller's next metrics()
-        // snapshot consistent with the response it just received.
+        // Merge first, record, then respond. Counters and histograms
+        // record lock-free, so nothing here can stall submitters or
+        // other finishing batches. Recording *before* the sends keeps a
+        // blocking caller's next metrics() snapshot consistent with the
+        // response it just received.
         let tier_label = self.tier.label();
         match failure {
             Some(error) => {
-                {
-                    let mut metrics = lock(&inner.metrics);
-                    metrics.record_batch(batch_size, engine_time);
-                    metrics.record_failed(self.responders.len() as u64, &tier_label);
-                }
+                inner.metrics.record_batch(batch_size, engine_time);
+                inner
+                    .metrics
+                    .record_failed(self.responders.len() as u64, &tier_label);
                 for responder in &self.responders {
                     // A dropped ticket is fine; everyone else gets the
                     // first shard failure.
@@ -184,24 +203,66 @@ impl Job {
                 }
             }
             None => {
+                let engine_wall =
+                    Duration::from_micros(self.engine_wall_us.load(Ordering::Acquire));
+                // Engine sub-stage attribution from the core hooks
+                // (exact per query when dispatch is serial; an
+                // aggregate share under concurrent batches). Divided
+                // across the batch so per-request histograms are not
+                // inflated B-fold; the span layout re-clamps anyway.
+                let per_req = |i: usize| {
+                    let ns = self.hook_ns[i].load(Ordering::Relaxed) / batch_size as u64;
+                    Duration::from_nanos(ns)
+                };
+                let (decode, score, prune, rescore) =
+                    if matches!(self.tier, QueryTier::Pruned { .. }) {
+                        // A pruned query's rescore wraps an inner engine
+                        // call whose decode/score hooks also fire — count
+                        // prune+rescore only, never both attributions.
+                        (
+                            Duration::ZERO,
+                            Duration::ZERO,
+                            per_req(tkspmv::obs_hooks::STAGE_PRUNE),
+                            per_req(tkspmv::obs_hooks::STAGE_RESCORE),
+                        )
+                    } else {
+                        (
+                            per_req(tkspmv::obs_hooks::STAGE_DECODE),
+                            per_req(tkspmv::obs_hooks::STAGE_SCORE),
+                            Duration::ZERO,
+                            Duration::ZERO,
+                        )
+                    };
                 let mut outputs = Vec::with_capacity(batch_size);
                 for (responder, pairs) in self.responders.iter().zip(per_query) {
+                    let merge_started = Instant::now();
                     let topk = TopKResult::merge_pairs(pairs, self.k);
-                    outputs.push((responder, topk, responder.enqueued.elapsed()));
+                    let stages = StageBreakdown {
+                        queue: responder.queue_wait,
+                        coalesce: responder.coalesce_wait,
+                        engine: engine_wall,
+                        decode,
+                        score,
+                        prune,
+                        rescore,
+                        merge: merge_started.elapsed(),
+                    };
+                    outputs.push((responder, topk, responder.enqueued.elapsed(), stages));
                 }
-                {
-                    let mut metrics = lock(&inner.metrics);
-                    metrics.record_batch(batch_size, engine_time);
-                    for &(_, _, latency) in &outputs {
-                        metrics.record_served(latency, &tier_label);
-                    }
+                inner.metrics.record_batch(batch_size, engine_time);
+                for (_, _, latency, stages) in &outputs {
+                    inner.metrics.record_served(*latency, &tier_label);
+                    inner
+                        .metrics
+                        .record_stages(stages, *latency, tkspmv_obs::TraceId::ZERO);
                 }
-                for (responder, topk, latency) in outputs {
+                for (responder, topk, latency, stages) in outputs {
                     let _ = responder.tx.send(Ok(ServedResult {
                         topk,
                         latency,
                         batch_size,
                         tier: self.tier,
+                        stages,
                     }));
                 }
             }
@@ -248,7 +309,7 @@ struct Inner {
     /// Batcher wake-ups (batch seeds + condvar returns); the regression
     /// counter proving the batcher never busy-spins.
     batcher_wakeups: AtomicU64,
-    metrics: Mutex<MetricsInner>,
+    metrics: MetricsShared,
 }
 
 impl Inner {
@@ -263,6 +324,7 @@ impl Inner {
         let k = members[0].k;
         let tier = members[0].tier;
         let epoch = Arc::clone(&members[0].epoch);
+        let dispatched = Instant::now();
         let mut queries = Vec::with_capacity(members.len());
         let mut responders = Vec::with_capacity(members.len());
         for pending in members {
@@ -271,6 +333,10 @@ impl Inner {
             queries.push(pending.x);
             responders.push(Responder {
                 enqueued: pending.enqueued,
+                queue_wait: pending
+                    .extracted
+                    .saturating_duration_since(pending.enqueued),
+                coalesce_wait: dispatched.saturating_duration_since(pending.extracted),
                 tx: pending.tx,
             });
         }
@@ -280,7 +346,8 @@ impl Inner {
             // a response is owed either way.
             Err(e) => {
                 let error = ServeError::Engine(e);
-                lock(&self.metrics).record_failed(responders.len() as u64, &tier.label());
+                self.metrics
+                    .record_failed(responders.len() as u64, &tier.label());
                 for responder in &responders {
                     let _ = responder.tx.send(Err(error.clone()));
                 }
@@ -296,6 +363,8 @@ impl Inner {
             partials: Mutex::new((0..self.shards.len()).map(|_| None).collect()),
             remaining: AtomicUsize::new(self.shards.len()),
             engine_us: AtomicU64::new(0),
+            engine_wall_us: AtomicU64::new(0),
+            hook_ns: Default::default(),
         });
         for shard in &self.shards {
             lock(&shard.queue).jobs.push_back(Arc::clone(&job));
@@ -321,13 +390,15 @@ fn extract_compatible(queue: &mut VecDeque<Pending>, members: &mut Vec<Pending>,
     let k = members[0].k;
     let tier = members[0].tier;
     let epoch = Arc::clone(&members[0].epoch);
+    let now = Instant::now();
     for _ in 0..queue.len() {
-        let pending = queue.pop_front().expect("len checked by the loop bound");
+        let mut pending = queue.pop_front().expect("len checked by the loop bound");
         if members.len() < max
             && pending.k == k
             && pending.tier == tier
             && Arc::ptr_eq(&pending.epoch, &epoch)
         {
+            pending.extracted = now;
             members.push(pending);
         } else {
             queue.push_back(pending);
@@ -338,7 +409,7 @@ fn extract_compatible(queue: &mut VecDeque<Pending>, members: &mut Vec<Pending>,
 /// The batcher thread: seed, coalesce under the policy, dispatch.
 fn batcher_loop(inner: &Arc<Inner>) {
     loop {
-        let seed = {
+        let mut seed = {
             let mut q = lock(&inner.submit);
             loop {
                 if let Some(pending) = q.queue.pop_front() {
@@ -356,6 +427,7 @@ fn batcher_loop(inner: &Arc<Inner>) {
             }
         };
         inner.batcher_wakeups.fetch_add(1, Ordering::Relaxed);
+        seed.extracted = Instant::now();
         let mut members = vec![seed];
         let max = inner.policy.max_batch_size;
         if max > 1 {
@@ -432,6 +504,7 @@ fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
         // "current" state: a hot swap installed after this job was
         // admitted must not change what it runs against.
         let shard = &job.epoch.shards[shard_index];
+        let hooks_before = tkspmv::obs_hooks::totals_ns();
         let engine_started = Instant::now();
         let ran = catch_unwind(AssertUnwindSafe(|| {
             let results =
@@ -445,6 +518,21 @@ fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
         }));
         let engine_us = u64::try_from(engine_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         job.engine_us.fetch_add(engine_us, Ordering::Relaxed);
+        // Wall-clock engine time for the request is the slowest shard
+        // (they run concurrently), not the sum across shards.
+        job.engine_wall_us.fetch_max(engine_us, Ordering::Relaxed);
+        // Attribute the engine-internal stage-hook time this shard's
+        // call added. The hooks are process-global counters (the engine
+        // fans out to its own scoped threads), so concurrent jobs can
+        // bleed into each other's deltas; the breakdown is diagnostic,
+        // and finalize clamps sub-stages into the engine wall interval.
+        let hooks_after = tkspmv::obs_hooks::totals_ns();
+        for (i, slot) in job.hook_ns.iter().enumerate() {
+            slot.fetch_add(
+                hooks_after[i].saturating_sub(hooks_before[i]),
+                Ordering::Relaxed,
+            );
+        }
         let outcome: ShardOutcome = match ran {
             Ok(Ok(lists)) => Ok(lists),
             Ok(Err(e)) => Err(ServeError::Engine(e)),
@@ -661,7 +749,7 @@ impl ServiceBuilder {
             queue_capacity: self.queue_capacity,
             dim,
             batcher_wakeups: AtomicU64::new(0),
-            metrics: Mutex::new(MetricsInner::new()),
+            metrics: MetricsShared::new(),
         });
 
         let batcher = {
@@ -874,7 +962,7 @@ impl TopKService {
         // swaps cannot interleave install and record — metrics' epoch
         // always matches the installed epoch. (Lock order epoch →
         // metrics is nested nowhere else in reverse.)
-        lock(&self.inner.metrics).record_swap(id);
+        self.inner.metrics.record_swap(id);
         Ok(id)
     }
 
@@ -933,7 +1021,7 @@ impl TopKService {
                 return Err(ServeError::ShuttingDown);
             }
             if q.queue.len() >= self.inner.queue_capacity {
-                lock(&self.inner.metrics).record_shed();
+                self.inner.metrics.record_shed();
                 return Err(ServeError::QueueFull {
                     capacity: self.inner.queue_capacity,
                 });
@@ -941,11 +1029,15 @@ impl TopKService {
             // Stamp the epoch while holding the submit lock, so
             // "admitted before the swap" and "stamped with the old
             // epoch" are the same set of requests.
+            let now = Instant::now();
             q.queue.push_back(Pending {
                 x,
                 k,
                 tier,
-                enqueued: Instant::now(),
+                enqueued: now,
+                // Re-stamped by the batcher at extraction; seeded here so
+                // a request never reports uninitialised queue wait.
+                extracted: now,
                 epoch: self.inner.current_epoch(),
                 tx,
             });
@@ -981,7 +1073,30 @@ impl TopKService {
     /// Snapshots the service's metrics.
     pub fn metrics(&self) -> ServiceMetrics {
         let wakeups = self.inner.batcher_wakeups.load(Ordering::Relaxed);
-        lock(&self.inner.metrics).snapshot(wakeups)
+        self.inner.metrics.snapshot(wakeups)
+    }
+
+    /// Renders the service's metrics in Prometheus plaintext exposition
+    /// format (the same series [`TopKService::metrics`] snapshots,
+    /// plus full latency histograms), ready to answer a `/metrics`
+    /// scrape.
+    pub fn render_metrics(&self) -> String {
+        let wakeups = self.inner.batcher_wakeups.load(Ordering::Relaxed);
+        self.inner.metrics.render(wakeups)
+    }
+
+    /// Returns the slowest `n` recently served requests' stage spans,
+    /// slowest first, from the service's bounded span ring.
+    pub fn slowest_spans(&self, n: usize) -> Vec<tkspmv_obs::SpanRecord> {
+        self.inner.metrics.slowest_spans(n)
+    }
+
+    /// Records a caller-assembled span record into the service's span
+    /// ring. The fabric node uses this to re-record a traced query
+    /// under its wire-propagated trace id (in-service records carry
+    /// the zero id — the service never sees the wire).
+    pub fn record_span(&self, rec: &tkspmv_obs::SpanRecord) {
+        self.inner.metrics.record_span(rec);
     }
 
     /// Gracefully shuts down: rejects new submissions, drains every

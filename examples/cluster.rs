@@ -9,6 +9,11 @@
 //! unit), the router plays the merge network, and — beyond the paper —
 //! the delta shard turns the static collection into a streaming one.
 //!
+//! The whole fleet is observable while it runs: every node exposes a
+//! Prometheus `/metrics` endpoint, the router exposes `/metrics` plus a
+//! `/traces` JSON dump of its slowest assembled trace trees, and the
+//! example scrapes all of them the way a collector would.
+//!
 //! Run with: `cargo run --release --example cluster`
 
 use std::sync::Arc;
@@ -17,6 +22,7 @@ use std::time::Duration;
 use tkspmv::backend::QueryTier;
 use tkspmv_baselines::cpu::CpuTopK;
 use tkspmv_fabric::{DeltaCollection, NodeServer, Router, RouterConfig, ShardSpec};
+use tkspmv_obs::{http_get, validate_exposition};
 use tkspmv_serve::{BatchPolicy, TopKService};
 use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
 
@@ -46,16 +52,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let service = TopKService::builder(Arc::new(CpuTopK::new(1)))
             .batch_policy(BatchPolicy::coalescing(32, Duration::from_micros(500)))
             .build(&shard)?;
-        let node = NodeServer::spawn(
+        // Each node also binds a Prometheus scrape endpoint.
+        let node = NodeServer::spawn_with_metrics(
             Arc::new(DeltaCollection::new(service, shard, first_row)),
+            "127.0.0.1:0",
             "127.0.0.1:0",
         )?;
         println!(
-            "  node {} serving rows {}..{} on {}",
+            "  node {} serving rows {}..{} on {} (metrics on {})",
             specs.len(),
             first_row,
             first_row + node.collection().base_rows(),
-            node.local_addr()
+            node.local_addr(),
+            node.metrics_addr().expect("metrics endpoint bound"),
         );
         specs.push(ShardSpec::single(node.local_addr().to_string()));
         nodes.push(node);
@@ -70,14 +79,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RouterConfig {
             deadline: Duration::from_secs(2),
             headroom: Duration::from_millis(100),
+            trace: true, // assemble a span tree per routed query
             ..RouterConfig::default()
         },
     )?;
+    let endpoint = router.serve_metrics("127.0.0.1:0")?;
     println!(
-        "router up: {} shards, {} rows, dim {}",
+        "router up: {} shards, {} rows, dim {} (metrics on {})",
         router.num_shards(),
         router.total_rows(),
-        router.dim()
+        router.dim(),
+        endpoint.addr(),
     );
 
     // Fan out a query: every node answers its partition, the router
@@ -137,6 +149,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("post-compaction answers are bit-identical; row {id} now lives in the base");
 
+    // Observability: scrape the fleet the way a Prometheus collector
+    // would, and validate every body against the exposition format.
+    let scrape_deadline = Duration::from_secs(5);
+    for (i, node) in nodes.iter().enumerate() {
+        let addr = node.metrics_addr().expect("metrics endpoint bound");
+        let body = http_get(addr, "/metrics", scrape_deadline)?;
+        let series = validate_exposition(&body).map_err(|e| format!("node {i} scrape: {e}"))?;
+        let served = body
+            .lines()
+            .find(|l| l.starts_with("tkspmv_serve_requests_total{outcome=\"served\"}"))
+            .unwrap_or("tkspmv_serve_requests_total{outcome=\"served\"} 0");
+        println!("scraped node {i}: {} series valid; {served}", series.len());
+    }
+    let body = http_get(endpoint.addr(), "/metrics", scrape_deadline)?;
+    let series = validate_exposition(&body).map_err(|e| format!("router scrape: {e}"))?;
+    println!(
+        "scraped router: {} series valid; degradation counters all rendered",
+        series.len()
+    );
+
+    // The router kept a span tree for every routed query above; the
+    // /traces endpoint dumps the slowest ones as JSON (the same feed
+    // the `tkspmv_trace` binary pretty-prints).
+    let traces = http_get(endpoint.addr(), "/traces", scrape_deadline)?;
+    let slowest = router.slowest_traces(1);
+    let trace = slowest.first().expect("traced queries recorded");
+    println!(
+        "slowest of {} recorded traces: id {} took {}us across {} shard spans ({} bytes of JSON on /traces)",
+        router.slowest_traces(usize::MAX).len(),
+        trace.trace_id.to_hex(),
+        trace.total_us,
+        trace.root.children.len(),
+        traces.len(),
+    );
+
+    drop(endpoint);
     for node in nodes {
         node.shutdown();
     }

@@ -14,9 +14,10 @@ use tkspmv::backend::QueryTier;
 use tkspmv_baselines::cpu::CpuTopK;
 use tkspmv_fabric::wire::{
     encode_frame, read_frame, read_response, Frame, FrameKind, Request, Response, HEADER_LEN,
-    MAX_BODY_LEN,
+    MAX_BODY_LEN, WIRE_VERSION,
 };
 use tkspmv_fabric::{DeltaCollection, NodeClient, NodeServer, RpcError, WireError};
+use tkspmv_obs::TraceId;
 use tkspmv_serve::TopKService;
 use tkspmv_sparse::Csr;
 
@@ -39,6 +40,7 @@ fn healthy_query_frame() -> Vec<u8> {
         x: vec![0.25; 8],
         k: 3,
         tier: QueryTier::Exact,
+        trace: TraceId::ZERO,
     }
     .encode();
     encode_frame(kind, &body)
@@ -67,7 +69,7 @@ fn corruption_table() -> Vec<CorruptionRow> {
             e,
             WireError::VersionSkew {
                 found: 9,
-                expected: 1
+                expected: WIRE_VERSION
             }
         )
     }));
@@ -156,7 +158,11 @@ fn forged_element_counts_fail_typed_without_the_allocation() {
         ),
     ];
     for (name, kind, body) in forged {
-        let frame = Frame { kind, body };
+        let frame = Frame {
+            version: WIRE_VERSION,
+            kind,
+            body,
+        };
         let failed = match kind {
             FrameKind::Query | FrameKind::Append => Request::decode(&frame).is_err(),
             _ => Response::decode(&frame).is_err(),
@@ -214,7 +220,7 @@ fn version_skew_detail_names_both_versions() {
     match read_response(&mut raw).expect("typed answer") {
         Response::Error(RpcError::BadRequest { detail }) => {
             assert!(detail.contains("v7"), "{detail}");
-            assert!(detail.contains("v1"), "{detail}");
+            assert!(detail.contains("v2"), "{detail}");
         }
         other => panic!("unexpected {other:?}"),
     }

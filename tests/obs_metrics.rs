@@ -1,0 +1,216 @@
+//! End-to-end tests of the Prometheus exposition surface: the node's
+//! `/metrics` endpoint, the router's `/metrics` + `/traces` endpoints,
+//! and the service-level renderer they both delegate to. Every scrape
+//! is validated with [`tkspmv_obs::validate_exposition`] — the same
+//! syntax check CI runs against a live cluster.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tkspmv::backend::{QueryTier, TopKBackend};
+use tkspmv_baselines::cpu::CpuTopK;
+use tkspmv_fabric::{
+    DeltaCollection, NodeClient, NodeServer, PartialPolicy, Router, RouterConfig, ShardSpec,
+};
+use tkspmv_obs::{http_get, validate_exposition};
+use tkspmv_serve::{BatchPolicy, TopKService};
+use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};
+use tkspmv_sparse::Csr;
+
+const DIM: usize = 64;
+const DEADLINE: Duration = Duration::from_secs(10);
+
+fn collection(rows: usize, seed: u64) -> Csr {
+    SyntheticConfig {
+        num_rows: rows,
+        num_cols: DIM,
+        avg_nnz_per_row: 6,
+        distribution: NnzDistribution::Uniform,
+        seed,
+    }
+    .generate()
+}
+
+fn node_with_metrics(rows: usize, start_row: usize) -> NodeServer {
+    let csr = collection(rows, 42 + start_row as u64);
+    let backend: Arc<dyn TopKBackend> = Arc::new(CpuTopK::new(1));
+    let service = TopKService::builder(backend)
+        .batch_policy(BatchPolicy::immediate())
+        .build(&csr)
+        .expect("service builds");
+    let delta = Arc::new(DeltaCollection::new(service, csr, start_row));
+    NodeServer::spawn_with_metrics(delta, "127.0.0.1:0", "127.0.0.1:0").expect("node binds")
+}
+
+#[test]
+fn node_metrics_endpoint_serves_valid_exposition_with_core_series() {
+    let node = node_with_metrics(40, 0);
+    let metrics_addr = node.metrics_addr().expect("metrics endpoint bound");
+
+    let mut client = NodeClient::connect(node.local_addr(), DEADLINE).expect("connect");
+    for seed in 0..5 {
+        let x = query_vector(DIM, seed);
+        client
+            .query(x.as_slice(), 4, QueryTier::Exact, DEADLINE)
+            .expect("query");
+    }
+
+    let body = http_get(metrics_addr, "/metrics", DEADLINE).expect("scrape");
+    let names = validate_exposition(&body).unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+    for required in [
+        "tkspmv_serve_requests_total",
+        "tkspmv_serve_batches_total",
+        "tkspmv_serve_latency_seconds",
+        "tkspmv_serve_stage_seconds",
+        "tkspmv_serve_epoch",
+    ] {
+        // Histograms expose `<name>_bucket/_sum/_count` series.
+        assert!(
+            names.iter().any(|n| n.starts_with(required)),
+            "scrape is missing {required}; got {names:?}"
+        );
+    }
+    // The five queries above must be visible in the served counter.
+    let served = body
+        .lines()
+        .find(|l| l.starts_with("tkspmv_serve_requests_total{outcome=\"served\"}"))
+        .expect("served counter rendered");
+    let value: f64 = served.rsplit(' ').next().unwrap().parse().expect("number");
+    assert!(value >= 5.0, "served counter {value} below the 5 queries");
+
+    // Unknown paths 404 (the endpoint serves exactly /metrics).
+    assert!(http_get(metrics_addr, "/nope", DEADLINE).is_err());
+    node.shutdown();
+}
+
+#[test]
+fn router_endpoints_serve_valid_exposition_and_trace_json() {
+    let nodes = [node_with_metrics(30, 0), node_with_metrics(30, 30)];
+    let specs = nodes
+        .iter()
+        .map(|n| ShardSpec::single(n.local_addr().to_string()))
+        .collect();
+    let router = Router::connect(
+        specs,
+        RouterConfig {
+            deadline: DEADLINE,
+            trace: true,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router connects");
+    let endpoint = router.serve_metrics("127.0.0.1:0").expect("endpoint binds");
+
+    for seed in 0..4 {
+        let x = query_vector(DIM, 100 + seed);
+        router
+            .query(x.as_slice(), 4, QueryTier::Exact)
+            .expect("routed query");
+    }
+
+    let body = http_get(endpoint.addr(), "/metrics", DEADLINE).expect("scrape");
+    let names = validate_exposition(&body).unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+    for required in [
+        "tkspmv_router_requests_total",
+        "tkspmv_router_hedged_sends_total",
+        "tkspmv_router_failovers_total",
+        "tkspmv_router_deadline_expiries_total",
+        "tkspmv_router_incomplete_coverage_total",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "router scrape is missing {required}; got {names:?}"
+        );
+    }
+    assert!(
+        body.contains("tkspmv_router_requests_total 4"),
+        "request counter should read 4:\n{body}"
+    );
+
+    let traces = http_get(endpoint.addr(), "/traces", DEADLINE).expect("traces");
+    assert!(traces.starts_with('[') && traces.ends_with(']'), "{traces}");
+    assert!(
+        traces.contains("\"trace_id\":\"") && traces.contains("\"name\":\"router\""),
+        "trace dump missing assembled trees: {traces}"
+    );
+
+    drop(endpoint);
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+/// S2: a dead primary replica must be visible as a failover, and a
+/// fully dead shard group as incomplete coverage — both on the router's
+/// degradation counters.
+#[test]
+fn router_degradation_counters_count_failover_and_incomplete_coverage() {
+    // A port that refuses connections: bind, note the address, drop.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        drop(listener);
+        addr.to_string()
+    };
+
+    let live = node_with_metrics(30, 0);
+    let second = node_with_metrics(30, 30);
+    let router = Router::connect(
+        vec![
+            // Dead primary, live fallback: every query fails over.
+            ShardSpec::replicated([dead.clone(), live.local_addr().to_string()]),
+            ShardSpec::single(second.local_addr().to_string()),
+        ],
+        RouterConfig {
+            deadline: DEADLINE,
+            partial: PartialPolicy::Allow,
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router connects through the fallback");
+
+    let x = query_vector(DIM, 9);
+    let result = router
+        .query(x.as_slice(), 4, QueryTier::Exact)
+        .expect("query");
+    assert!(result.coverage.is_complete(), "fallback replica answered");
+
+    let counter = |name: &str| -> f64 {
+        let rendered = router.render_metrics();
+        rendered
+            .lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} not rendered:\n{rendered}"))
+    };
+    assert!(counter("tkspmv_router_failovers_total") >= 1.0);
+    assert_eq!(counter("tkspmv_router_incomplete_coverage_total"), 0.0);
+
+    // Kill the second group entirely: coverage goes incomplete.
+    second.shutdown();
+    let partial = router
+        .query(x.as_slice(), 4, QueryTier::Exact)
+        .expect("partial result allowed");
+    assert!(!partial.coverage.is_complete());
+    assert!(counter("tkspmv_router_incomplete_coverage_total") >= 1.0);
+
+    live.shutdown();
+}
+
+#[test]
+fn service_renderer_matches_endpoint_and_stays_valid() {
+    let csr = collection(25, 3);
+    let backend: Arc<dyn TopKBackend> = Arc::new(CpuTopK::new(1));
+    let service = TopKService::builder(backend)
+        .batch_policy(BatchPolicy::immediate())
+        .build(&csr)
+        .expect("service builds");
+    for seed in 0..3 {
+        service.query(query_vector(DIM, seed), 4).expect("query");
+    }
+    let rendered = service.render_metrics();
+    validate_exposition(&rendered).unwrap_or_else(|e| panic!("invalid exposition: {e}"));
+    assert!(rendered.contains("tkspmv_serve_requests_total{outcome=\"served\"} 3"));
+    service.shutdown();
+}

@@ -115,6 +115,45 @@ fn steady_state_packet_loop_is_allocation_free() {
     );
 }
 
+/// The observability recording path a request completion touches —
+/// counter bump, latency histogram record, span-ring write — must be
+/// allocation-free, or the metrics refactor would smuggle allocations
+/// back onto the hot path it was built to clean up. (With `obs-trace`
+/// off the engine hooks compile to nothing, so the packet-loop tests
+/// above already prove the hooks-off hot path gained zero allocations.)
+#[test]
+#[ignore = "global-allocator accounting; run explicitly (CI does) with --ignored"]
+fn obs_recording_path_is_allocation_free() {
+    use std::time::Duration;
+    use tkspmv_obs::{Registry, SpanRecord, SpanRing, Stage, TraceId};
+
+    let registry = Registry::new();
+    let counter = registry.counter("test_requests_total", "test");
+    let hist = registry.histogram("test_latency_seconds", "test");
+    let ring = SpanRing::new(64);
+    let mut rec = SpanRecord::new(TraceId::generate(), 1_000);
+    rec.push(Stage::Queue, 0, 100);
+    rec.push(Stage::Score, 100, 800);
+    rec.push(Stage::Merge, 900, 100);
+
+    // Warm: the first records pin each thread's histogram stripe.
+    counter.inc();
+    hist.record(Duration::from_micros(250));
+    ring.record(&rec);
+
+    let allocs = allocations_during(|| {
+        for i in 0..100u32 {
+            counter.inc();
+            hist.record(Duration::from_micros(u64::from(i) * 37 + 1));
+            ring.record(&rec);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "metrics/span recording allocates on the completion path ({allocs} calls per 100 records)"
+    );
+}
+
 #[test]
 #[ignore = "global-allocator accounting; run explicitly (CI does) with --ignored"]
 fn warm_batch_scratch_is_allocation_free_across_packet_count_and_batch_size() {
