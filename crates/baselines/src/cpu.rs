@@ -102,6 +102,7 @@ impl CpuTopK {
                 .collect();
             handles
                 .into_iter()
+                // invariant: join fails only when the worker panicked; propagating that panic is intended
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });

@@ -38,10 +38,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::return_self_not_must_use)]
-#![forbid(unsafe_code)]
-
 pub mod cpu;
 pub mod gpu;
 pub mod heap;

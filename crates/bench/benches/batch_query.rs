@@ -14,6 +14,10 @@
 //! `BENCH_hotpath.json` tracks (same shape as `engine.rs`'s
 //! `large_matrix`).
 
+// The criterion_group! macro expands to an undocumented function;
+// bench binaries need no per-item docs.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use tkspmv::backend::{QueryBatch, TopKBackend};
 use tkspmv::Accelerator;

@@ -1,6 +1,10 @@
 //! Throughput of BS-CSR encode/decode against packed-COO, in
 //! non-zeros/second — the software-side cost of the format.
 
+// The criterion_group! macro expands to an undocumented function;
+// bench binaries need no per-item docs.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tkspmv_fixed::Q1_19;
 use tkspmv_sparse::gen::{NnzDistribution, SyntheticConfig};

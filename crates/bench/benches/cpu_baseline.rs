@@ -1,6 +1,10 @@
 //! CPU baseline scaling with thread count — the measured side of the
 //! Figure 5 comparison.
 
+// The criterion_group! macro expands to an undocumented function;
+// bench binaries need no per-item docs.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tkspmv_baselines::cpu::CpuTopK;
 use tkspmv_sparse::gen::{query_vector, NnzDistribution, SyntheticConfig};

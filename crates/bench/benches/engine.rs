@@ -1,6 +1,10 @@
 //! Emulator core throughput per precision — how fast the software
 //! model chews through packets (not the FPGA's modelled speed).
 
+// The criterion_group! macro expands to an undocumented function;
+// bench binaries need no per-item docs.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tkspmv::{quantize_vector, run_core, run_core_with_scratch, CoreScratch, Fidelity};
 use tkspmv_fixed::{F32, Q1_19, Q1_31};

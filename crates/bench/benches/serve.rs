@@ -8,6 +8,10 @@
 //! difference is the serving layer's contribution, independent of the
 //! engine's own batch speedup (see the `batch_query` bench for that).
 
+// The criterion_group! macro expands to an undocumented function;
+// bench binaries need no per-item docs.
+#![allow(missing_docs)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -1,6 +1,10 @@
 //! Top-K scratchpad update cost vs k — the RAW-dependency the paper
 //! cites as the reason k stays small (§IV-B).
 
+// The criterion_group! macro expands to an undocumented function;
+// bench binaries need no per-item docs.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tkspmv::TopKTracker;
 

@@ -180,12 +180,15 @@ fn measure(csr: &Csr, reference: &[(u32, f64)], nodes: usize, pace_ns: u64) -> M
                     router
                         .query(query_vector(DIM, seed).as_slice(), K, QueryTier::Exact)
                         .expect("closed-loop query");
+                    // ordering: independent throughput counter; the
+                    // scope join orders the final read after all adds.
                     served.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
     });
     let elapsed = start.elapsed();
+    // ordering: read after thread::scope joined every client.
     let queries = served.load(Ordering::Relaxed);
     for server in servers {
         server.shutdown();

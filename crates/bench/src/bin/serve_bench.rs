@@ -111,6 +111,8 @@ fn measure(
                     service
                         .query(query_vector(DIM, seed), K)
                         .expect("closed-loop query");
+                    // ordering: independent throughput counter; the
+                    // scope join orders the final read after all adds.
                     served.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -121,6 +123,7 @@ fn measure(
     Measurement {
         policy: policy_name,
         clients,
+        // ordering: read after thread::scope joined every client.
         throughput_qps: served.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
         p50_us: metrics.latency_p50.as_micros(),
         p99_us: metrics.latency_p99.as_micros(),

@@ -8,9 +8,6 @@
 //! --trials <N>   Monte Carlo trials for Table I (default 1000)
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use tkspmv_eval::ExpConfig;
 
 /// Parsed command-line options common to all reproduction binaries.

@@ -1,0 +1,114 @@
+//! Hot-path allocation lint.
+//!
+//! In modules declared hot (the list ships in
+//! `crates/check/hot_paths.txt`: the core engine, sparse packet decode
+//! and prune scoring, observability recording), any allocating construct
+//! must carry an `// alloc-ok: <reason>` annotation on its statement, or
+//! the enclosing function must be exempted with `// alloc-ok(fn):
+//! <reason>` (for setup/snapshot paths that allocate by design). This is
+//! the static complement of `tests/zero_alloc.rs`: the counting
+//! allocator proves exercised paths allocation-free, the lint holds the
+//! line on every path.
+//!
+//! Growth calls on preallocated scratch (`push`, `resize`, `reserve`,
+//! `extend*`) are deliberately *not* linted: reuse-within-capacity is
+//! the designed hot-loop idiom and the runtime counting-allocator proof
+//! owns it; the lint targets constructs that always (or first-use
+//! always) allocate.
+
+use std::path::Path;
+
+use crate::diag::{Lint, Report};
+use crate::lexer::{tokens, LexedFile};
+use crate::scan::{annotated, fn_spans};
+
+/// Type paths whose `::new` / `::with_capacity` / `::from` construct on
+/// the heap.
+const HEAP_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "String", "Box", "Arc", "Rc", "HashMap", "HashSet", "BTreeMap", "BTreeSet",
+];
+
+/// Allocating constructors reached through `Type::<ctor>`.
+const HEAP_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Method calls that always produce a fresh heap value.
+const DOT_ALLOCS: &[&str] = &[
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "collect",
+    "into_vec",
+    "into_boxed_slice",
+];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Runs the lint over one hot file. `path` is workspace-relative.
+pub fn check_file(path: &Path, file: &LexedFile, report: &mut Report) {
+    let toks = tokens(file);
+    let spans = fn_spans(&toks);
+    // Function bodies exempted wholesale via `// alloc-ok(fn): reason`
+    // on (or directly above) their `fn` line.
+    let exempt: Vec<(usize, usize)> = spans
+        .iter()
+        .filter(|s| annotated(file, s.fn_line, "alloc-ok(fn):"))
+        .map(|s| {
+            let start = toks[s.body_start].line;
+            let end = toks[s.body_end].line;
+            (start, end)
+        })
+        .collect();
+    let line_exempt = |line: usize| exempt.iter().any(|&(s, e)| line >= s && line <= e);
+
+    let fire = |line: usize, what: &str, report: &mut Report| {
+        if file.lines[line - 1].in_test || line_exempt(line) {
+            return;
+        }
+        if annotated(file, line, "alloc-ok:") {
+            return;
+        }
+        report.push(
+            Lint::Alloc,
+            path,
+            line,
+            format!(
+                "`{what}` allocates in a hot-path module; justify with \
+                 `// alloc-ok: <reason>` (or `// alloc-ok(fn): <reason>` on the fn), or move it \
+                 off the hot path"
+            ),
+        );
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        // `vec![...]` / `format!(...)`.
+        if ALLOC_MACROS.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            fire(t.line, &format!("{}!", t.text), report);
+            continue;
+        }
+        // `Vec::new(...)`-shaped constructor paths.
+        if HEAP_TYPES.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.text == ":")
+            && toks.get(i + 2).is_some_and(|n| n.text == ":")
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| HEAP_CTORS.contains(&n.text.as_str()))
+            && toks.get(i + 4).is_some_and(|n| n.text == "(")
+        {
+            fire(t.line, &format!("{}::{}", t.text, toks[i + 3].text), report);
+            continue;
+        }
+        // `.to_vec()` / `.collect()` method calls.
+        if t.text == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| DOT_ALLOCS.contains(&n.text.as_str()))
+            && toks.get(i + 2).is_some_and(|n| n.text == "(")
+        {
+            let name = toks[i + 1].text.clone();
+            fire(toks[i + 1].line, &format!(".{name}()"), report);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Panic-freedom lint.
+//!
+//! `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/`unreachable!` in
+//! library code (non-test, non-bin, non-bench) must carry an
+//! `// invariant: <reason>` comment stating why the failing case cannot
+//! happen. Binaries may exit loudly; libraries embedded in the serving
+//! stack must not — a panic in a worker costs a request, a panic in
+//! shared state costs the process.
+
+use std::path::Path;
+
+use crate::diag::{Lint, Report};
+use crate::lexer::{tokens, LexedFile};
+use crate::scan::annotated;
+
+/// Panicking method calls (matched as `.name(`).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Panicking macros (matched as `name!`).
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Runs the lint over one library file. `path` is workspace-relative.
+pub fn check_file(path: &Path, file: &LexedFile, report: &mut Report) {
+    let toks = tokens(file);
+    let fire = |line: usize, what: &str, report: &mut Report| {
+        if file.lines[line - 1].in_test {
+            return;
+        }
+        if annotated(file, line, "invariant:") {
+            return;
+        }
+        report.push(
+            Lint::Panic,
+            path,
+            line,
+            format!(
+                "`{what}` in library code without an `// invariant: <reason>` comment; \
+                 justify why this cannot fail or return a typed error"
+            ),
+        );
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.text == "."
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| PANIC_METHODS.contains(&n.text.as_str()))
+            && toks.get(i + 2).is_some_and(|n| n.text == "(")
+        {
+            let name = toks[i + 1].text.clone();
+            fire(toks[i + 1].line, &format!(".{name}()"), report);
+            continue;
+        }
+        if PANIC_MACROS.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|n| n.text == "!")
+        {
+            fire(t.line, &format!("{}!", t.text), report);
+        }
+    }
+}

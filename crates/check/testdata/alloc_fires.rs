@@ -1,0 +1,7 @@
+//! Alloc-lint fixture: exactly one finding, on the marked line.
+
+fn hot_loop(xs: &[u32]) -> u32 {
+    let scratch = Vec::new(); // FINDING: unannotated allocation
+    let _ = scratch.len();
+    xs.iter().sum()
+}

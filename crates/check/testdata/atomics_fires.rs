@@ -1,0 +1,7 @@
+//! Atomics-audit fixture: exactly one finding, on the marked line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tick(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // FINDING: no ordering justification
+}

@@ -1,0 +1,36 @@
+//! Clean fixture: every lint's escape hatch in one file. No lint may
+//! fire anywhere in here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn annotated_paths(c: &AtomicU64) -> Vec<u32> {
+    // alloc-ok: fixture — documented one-time setup allocation.
+    let mut out = Vec::new();
+    // ordering: fixture — a monotone counter nobody reads transactionally.
+    c.fetch_add(1, Ordering::Relaxed);
+    out.push(1);
+    // invariant: fixture — the vector was just pushed to.
+    let _ = out.first().unwrap();
+    out
+}
+
+// alloc-ok(fn): fixture — whole function is setup-time.
+fn exempt_function() -> String {
+    let s = String::new();
+    format!("{s}")
+}
+
+fn strings_do_not_count() -> &'static str {
+    // The lexer must keep these out of the code channel entirely.
+    "Vec::new() panic! unwrap() Ordering::SeqCst"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let v: Vec<u32> = Vec::new();
+        assert!(v.first().is_none());
+        let _ = format!("{:?}", v);
+    }
+}

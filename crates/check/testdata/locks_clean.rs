@@ -1,0 +1,8 @@
+//! Lock-hierarchy fixture: nesting in the declared order is clean.
+
+fn forwards(pair: &Pair) {
+    let outer = pair.outer.lock().unwrap();
+    let inner = pair.inner.lock().unwrap();
+    drop(inner);
+    drop(outer);
+}

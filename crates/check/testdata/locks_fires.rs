@@ -1,0 +1,10 @@
+//! Lock-hierarchy fixture: `inner` is acquired while `outer` is taken
+//! underneath it — a backward edge against the declared order, so the
+//! detector reports exactly one violation.
+
+fn backwards(pair: &Pair) {
+    let inner = pair.inner.lock().unwrap();
+    let outer = pair.outer.lock().unwrap(); // FINDING: inner -> outer is backward
+    drop(outer);
+    drop(inner);
+}

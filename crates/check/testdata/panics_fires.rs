@@ -1,0 +1,5 @@
+//! Panic-lint fixture: exactly one finding, on the marked line.
+
+fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // FINDING: unjustified unwrap in library code
+}

@@ -1,0 +1,113 @@
+//! Fixture self-tests: every lint demonstrated firing exactly once on a
+//! known line, and a clean file exercising every escape hatch without a
+//! single finding. If a lint's matching logic drifts, these fail before
+//! the workspace scan ever does.
+
+use std::path::{Path, PathBuf};
+
+use tkspmv_check::diag::{Lint, Report};
+use tkspmv_check::lexer::lex;
+use tkspmv_check::{alloc, atomics, locks, panics};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join(name);
+    let text = std::fs::read_to_string(&path).unwrap();
+    (path, text)
+}
+
+/// The 1-based line carrying the `FINDING` marker comment.
+fn marked_line(text: &str) -> usize {
+    text.lines()
+        .position(|l| l.contains("// FINDING"))
+        .map(|i| i + 1)
+        .expect("fixture declares its finding line")
+}
+
+fn run_single_file(
+    name: &str,
+    check: fn(&Path, &tkspmv_check::lexer::LexedFile, &mut Report),
+) -> Report {
+    let (path, text) = fixture(name);
+    let file = lex(&text);
+    let mut report = Report::default();
+    check(&path, &file, &mut report);
+    report
+}
+
+#[test]
+fn alloc_fixture_fires_exactly_once() {
+    let (_, text) = fixture("alloc_fires.rs");
+    let report = run_single_file("alloc_fires.rs", alloc::check_file);
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].lint, Lint::Alloc);
+    assert_eq!(report.diagnostics[0].line, marked_line(&text));
+}
+
+#[test]
+fn atomics_fixture_fires_exactly_once() {
+    let (_, text) = fixture("atomics_fires.rs");
+    let report = run_single_file("atomics_fires.rs", atomics::check_file);
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].lint, Lint::Atomics);
+    assert_eq!(report.diagnostics[0].line, marked_line(&text));
+}
+
+#[test]
+fn panics_fixture_fires_exactly_once() {
+    let (_, text) = fixture("panics_fires.rs");
+    let report = run_single_file("panics_fires.rs", panics::check_file);
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].lint, Lint::Panic);
+    assert_eq!(report.diagnostics[0].line, marked_line(&text));
+}
+
+#[test]
+fn locks_fixture_reports_the_backward_edge() {
+    let (_, config_text) = fixture("locks.toml");
+    let cfg = locks::parse_config(&config_text).unwrap();
+    let (path, text) = fixture("locks_fires.rs");
+    let files = vec![(path, "fixture".to_string(), lex(&text))];
+    let mut report = Report::default();
+    locks::check(&files, &cfg, &mut report);
+    let violations: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == Lint::Locks)
+        .collect();
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(
+        violations[0].message.contains("fixture.inner")
+            && violations[0].message.contains("fixture.outer"),
+        "{}",
+        violations[0].message
+    );
+}
+
+#[test]
+fn locks_fixture_clean_in_declared_order() {
+    let (_, config_text) = fixture("locks.toml");
+    let cfg = locks::parse_config(&config_text).unwrap();
+    let (path, text) = fixture("locks_clean.rs");
+    let files = vec![(path, "fixture".to_string(), lex(&text))];
+    let mut report = Report::default();
+    locks::check(&files, &cfg, &mut report);
+    let violations: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == Lint::Locks)
+        .collect();
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn clean_fixture_passes_every_lint() {
+    let (path, text) = fixture("clean.rs");
+    let file = lex(&text);
+    let mut report = Report::default();
+    alloc::check_file(&path, &file, &mut report);
+    atomics::check_file(&path, &file, &mut report);
+    panics::check_file(&path, &file, &mut report);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}

@@ -110,6 +110,8 @@ pub struct BatchScratch<S: SpmvScalar> {
 
 impl<S: SpmvScalar> BatchScratch<S> {
     /// Creates an empty scratch; the first batch sizes its buffers.
+    // alloc-ok(fn): cold constructor — the empty vecs here are the
+    // buffers whose reuse makes the batch loop allocation-free.
     pub fn new() -> Self {
         Self {
             packet: PacketScratch::new(),
@@ -395,6 +397,9 @@ pub fn run_core_batch_with_scratch<'s, S: SpmvScalar, Q: AsRef<[S]>>(
 
     while scratch.outputs.len() < b {
         scratch.outputs.push(CoreOutput {
+            // alloc-ok: grows only when this batch is wider than any
+            // before; Vec::new itself is allocation-free, and steady
+            // state reuses the slots.
             topk: Vec::new(),
             stats: CoreStats::default(),
         });
@@ -463,6 +468,8 @@ fn lane_pass<S: SpmvScalar>(
 
 /// Quantises a dense query vector into the scalar domain `S` — the URAM
 /// upload step performed by the host before launching the kernel.
+// alloc-ok(fn): per-query host-side upload step, one vector per query;
+// the per-packet loop never calls this.
 pub fn quantize_vector<S: SpmvScalar>(x: &[f32]) -> Vec<S> {
     x.iter().map(|&v| S::decode(S::encode(v as f64))).collect()
 }

@@ -46,6 +46,7 @@ pub fn run_multicore<S: SpmvScalar>(
     // implementation to maintain, one place for future SIMD work.
     run_multicore_impl(partitions, &[x], k, big_k, fidelity)
         .pop()
+        // invariant: a one-query batch yields exactly one output
         .expect("a single-query batch yields exactly one output")
 }
 
@@ -88,6 +89,9 @@ pub fn run_multicore_batch<S: SpmvScalar>(
 /// Shared implementation behind [`run_multicore`] (B = 1) and
 /// [`run_multicore_batch`]: one thread per partition, one matrix-major
 /// pass over each partition's packets per batch.
+// alloc-ok(fn): per-batch fan-out and owned result assembly; the
+// per-packet loop lives in run_core_batch_with_scratch, which reuses
+// each thread's BatchScratch across batches.
 fn run_multicore_impl<S: SpmvScalar, Q: AsRef<[S]> + Sync>(
     partitions: &[(usize, BsCsr)],
     queries: &[Q],
@@ -136,6 +140,7 @@ fn run_multicore_impl<S: SpmvScalar, Q: AsRef<[S]> + Sync>(
             .collect();
         handles
             .into_iter()
+            // invariant: join fails only when the worker panicked; propagating that panic is intended
             .map(|h| h.join().expect("core thread panicked"))
             .collect()
     });

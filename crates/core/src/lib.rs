@@ -65,10 +65,6 @@
 //! # Ok::<(), tkspmv::EngineError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::return_self_not_must_use)]
-#![forbid(unsafe_code)]
-
 mod accelerator;
 pub mod approx;
 pub mod backend;

@@ -78,6 +78,8 @@ mod imp {
         #[inline(always)]
         pub fn stop(self) {
             let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // ordering: diagnostic running total; no other data is
+            // published under this counter, and readers tolerate skew.
             TOTALS_NS[self.stage].fetch_add(ns, Ordering::Relaxed);
         }
     }
@@ -86,6 +88,8 @@ mod imp {
     pub fn totals_ns() -> [u64; NUM_STAGES] {
         let mut out = [0u64; NUM_STAGES];
         for (o, t) in out.iter_mut().zip(&TOTALS_NS) {
+            // ordering: point-in-time diagnostic read; callers take
+            // before/after deltas and tolerate concurrent skew.
             *o = t.load(Ordering::Relaxed);
         }
         out

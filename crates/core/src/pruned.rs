@@ -220,8 +220,12 @@ impl PrunedBackend {
             let key = (s, Reverse(row as u32));
             if heap.len() < shortlist {
                 heap.push(Reverse(key));
-            } else if key > heap.peek().expect("heap is non-empty").0 {
-                *heap.peek_mut().expect("heap is non-empty") = Reverse(key);
+            } else {
+                // invariant: this branch means len >= shortlist >= 1
+                let mut worst = heap.peek_mut().expect("heap is non-empty");
+                if key > worst.0 {
+                    *worst = Reverse(key);
+                }
             }
         }
         let mut order: Vec<u32> = heap.into_iter().map(|Reverse((_, Reverse(r)))| r).collect();

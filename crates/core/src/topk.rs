@@ -54,6 +54,8 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
         assert!(k > 0, "top-k tracker needs at least one slot");
         Self {
             k,
+            // alloc-ok: one-time k-slot buffer at construction;
+            // insert() replaces in place and never grows it.
             slots: Vec::with_capacity(k),
             min_slot: 0,
             offered: 0,
@@ -172,6 +174,7 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
         let mut out = self.slots;
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
+                // invariant: accumulators are u64 fixed-point or finite float sums of normalised inputs, never NaN
                 .expect("comparable values")
                 .then(a.0.cmp(&b.0))
         });
@@ -193,6 +196,7 @@ impl<A: PartialOrd + Copy> TopKTracker<A> {
         out.extend_from_slice(&self.slots);
         out.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
+                // invariant: accumulators are u64 fixed-point or finite float sums of normalised inputs, never NaN
                 .expect("comparable values")
                 .then(a.0.cmp(&b.0))
         });
@@ -239,11 +243,15 @@ impl TopKResult {
     }
 
     /// Ranked row indices, best first.
+    // alloc-ok(fn): caller-facing owned copy; the scoring loop reads
+    // entries() borrowed.
     pub fn indices(&self) -> Vec<u32> {
         self.entries.iter().map(|&(i, _)| i).collect()
     }
 
     /// Ranked scores, best first.
+    // alloc-ok(fn): caller-facing owned copy; the scoring loop reads
+    // entries() borrowed.
     pub fn scores(&self) -> Vec<f64> {
         self.entries.iter().map(|&(_, s)| s).collect()
     }
@@ -275,6 +283,8 @@ impl TopKResult {
     /// the per-shard candidate lists happen to be grouped or ordered
     /// (property-tested in `tests/serve_equivalence.rs`), including at
     /// the truncation boundary where a tie decides who makes the cut.
+    // alloc-ok(fn): per-query reduction assembling the owned result
+    // list — one flat collect per merge, not per packet.
     pub fn merge_pairs<I: IntoIterator<Item = (u32, f64)>>(pairs: I, k: usize) -> Self {
         Self::from_pairs(pairs.into_iter().collect()).truncated(k)
     }
@@ -292,6 +302,7 @@ impl TopKResult {
     /// deduplication changes nothing but the double-count; for
     /// approximate engines it deterministically prefers the better
     /// sighting.
+    // alloc-ok(fn): per-query reduction, same budget as merge_pairs.
     pub fn merge_pairs_dedup<I: IntoIterator<Item = (u32, f64)>>(pairs: I, k: usize) -> Self {
         let merged = Self::from_pairs(pairs.into_iter().collect());
         let mut seen = std::collections::HashSet::new();

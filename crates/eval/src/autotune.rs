@@ -129,6 +129,7 @@ fn sample_matrix(csr: &Csr, rows: usize, seed: u64) -> Csr {
                 .map(move |(c, v)| (new_r as u32, c, v))
         })
         .collect();
+    // invariant: triplets are re-rowed entries of a valid Csr with the same column count
     Csr::from_triplets(rows, csr.num_cols(), &triplets).expect("sampled rows stay valid")
 }
 

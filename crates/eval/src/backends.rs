@@ -37,6 +37,7 @@ pub fn fpga_with_rows_per_packet(
     if let Some(r) = rows_per_packet {
         builder = builder.rows_per_packet(r);
     }
+    // invariant: the fixed paper-point configuration always validates
     Box::new(builder.build().expect("paper design builds"))
 }
 

@@ -195,6 +195,7 @@ pub fn group_representatives() -> Vec<DatasetSpec> {
                 .find(|s| s.group == *g && s.kind == DatasetKind::Gamma)
                 .or_else(|| specs.iter().find(|s| s.group == *g))
                 .copied()
+                // invariant: the group list is derived from the spec table, so a spec exists
                 .expect("every group has at least one spec")
         })
         .collect()
@@ -215,6 +216,7 @@ fn uniform_name(rows: usize, avg: usize, m: usize) -> &'static str {
         (15_000_000, 20, 1024) => "uniform-1.5e7-20nnz-m1024",
         (15_000_000, 40, 512) => "uniform-1.5e7-40nnz-m512",
         (15_000_000, 40, 1024) => "uniform-1.5e7-40nnz-m1024",
+        // invariant: callers pass only combinations present in the spec table
         _ => unreachable!("unknown uniform combination"),
     }
 }
@@ -227,6 +229,7 @@ fn gamma_name(rows: usize, avg: usize) -> &'static str {
         (10_000_000, 40) => "gamma-1e7-40nnz",
         (15_000_000, 20) => "gamma-1.5e7-20nnz",
         (15_000_000, 40) => "gamma-1.5e7-40nnz",
+        // invariant: callers pass only combinations present in the spec table
         _ => unreachable!("unknown gamma combination"),
     }
 }

@@ -26,6 +26,7 @@ pub fn run() -> Vec<PackingRow> {
         idx_bits: 10,
         value_bits: 20,
     };
+    // invariant: the paper layout (m = 1024, 20-bit values) always solves
     let bscsr = PacketLayout::solve(1024, 20).expect("paper layout fits");
     let base = naive.entries_per_packet() as f64;
     vec![

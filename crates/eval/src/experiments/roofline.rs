@@ -76,10 +76,14 @@ pub fn architecture_points(config: &ExpConfig) -> Vec<RooflinePoint> {
             .cores(32)
             .k(8)
             .build()
+            // invariant: the fixed paper configuration always builds
             .expect("paper design builds");
+        // invariant: experiment driver; a failed load invalidates the run, so fail loudly
         let m = acc.load_matrix(&csr).expect("matrix loads");
+        // invariant: experiment driver; a failed query invalidates the run, so fail loudly
         let out = acc.query(&m, &x, 100).expect("query runs");
         let layout =
+            // invariant: the paper grid stays within the layout solver's field widths
             PacketLayout::solve(csr.num_cols(), precision.value_bits()).expect("layout fits");
         let roof = Roofline::new(hbm.effective_bandwidth(32), layout.operational_intensity());
         points.push(RooflinePoint {

@@ -24,9 +24,6 @@
 //! [`backends`], so a new engine joins every figure by implementing one
 //! trait.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod autotune;
 pub mod backends;
 pub mod datasets;

@@ -329,6 +329,7 @@ impl Compactor {
                     }
                 }
             })
+            // invariant: spawn fails only on OS thread exhaustion; the fabric cannot run without its compactor
             .expect("spawn compactor thread");
         Self {
             stop,

@@ -292,6 +292,7 @@ impl ReplicaPool {
             if guard.is_none() {
                 *guard = Some(NodeClient::connect(self.addr.as_str(), connect_timeout)?);
             }
+            // invariant: the slot is filled two lines above when it was empty
             let result = f(guard.as_mut().expect("slot filled above"));
             if matches!(result, Err(CallError::Wire(_))) {
                 *guard = None;
@@ -513,6 +514,7 @@ impl Router {
                     );
                     let _ = tx.send((index, outcome));
                 })
+                // invariant: spawn fails only on OS thread exhaustion; the query cannot proceed without its fan-out
                 .expect("spawn router fan-out thread");
         }
         drop(tx);
@@ -585,6 +587,7 @@ impl Router {
     /// contiguous). Every replica of the group must admit the rows with
     /// the same ids; the ids are returned.
     pub fn append(&self, rows: &[SparseRow]) -> Result<Vec<u32>, FabricError> {
+        // invariant: RouterConfig validation rejects an empty shard list
         let tail = self.shards.last().expect("validated non-empty");
         let mut agreed: Option<Vec<u32>> = None;
         for pool in &tail.pools {
@@ -610,6 +613,7 @@ impl Router {
                 }
             }
         }
+        // invariant: validation guarantees at least one replica per group, so the loop assigned it
         Ok(agreed.expect("validated non-empty replica set"))
     }
 
@@ -632,6 +636,7 @@ impl Router {
                     first = Some(r);
                 }
             }
+            // invariant: validation guarantees at least one replica per group, so the loop assigned it
             results.push(first.expect("validated non-empty replica set"));
         }
         Ok(results)
@@ -708,6 +713,7 @@ fn query_shard(
                     }),
                 ));
             })
+            // invariant: spawn fails only on OS thread exhaustion; the attempt is lost without its thread
             .expect("spawn attempt thread");
     };
 

@@ -280,21 +280,35 @@ pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Vec<u8> {
 ///
 /// As [`encode_frame`].
 pub fn encode_frame_versioned(version: u16, kind: FrameKind, body: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+    encode_frame_into(&mut buf, version, kind, body);
+    buf
+}
+
+/// [`encode_frame_versioned`] into a caller-owned buffer: clears `buf`
+/// and appends the complete frame, reusing the buffer's capacity. The
+/// per-call encode path of a warm connection goes through here so a
+/// node answering a stream of queries does not pay a frame-sized
+/// allocation per response.
+///
+/// # Panics
+///
+/// As [`encode_frame`].
+pub fn encode_frame_into(buf: &mut Vec<u8>, version: u16, kind: FrameKind, body: &[u8]) {
     assert!(
         body.len() <= MAX_BODY_LEN as usize,
         "frame body of {} bytes exceeds the wire cap",
         body.len()
     );
-    let mut buf = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+    buf.clear();
     buf.extend_from_slice(&MAGIC);
     buf.extend_from_slice(&version.to_le_bytes());
     buf.push(kind as u8);
     buf.push(0); // flags, reserved
     buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
     buf.extend_from_slice(body);
-    let crc = crc32(&buf);
+    let crc = crc32(buf);
     buf.extend_from_slice(&crc.to_le_bytes());
-    buf
 }
 
 /// Writes one frame to `w` at the current [`WIRE_VERSION`].

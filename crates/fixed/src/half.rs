@@ -131,6 +131,7 @@ impl Half {
     /// Kept as an inherent method (not `std::ops::Mul`) to make the
     /// per-operation rounding explicit at every call site.
     #[allow(clippy::should_implement_trait)]
+    #[must_use]
     pub fn mul(self, other: Self) -> Self {
         Self::from_f32(self.to_f32() * other.to_f32())
     }
@@ -141,6 +142,7 @@ impl Half {
     /// Kept as an inherent method (not `std::ops::Add`) to make the
     /// per-operation rounding explicit at every call site.
     #[allow(clippy::should_implement_trait)]
+    #[must_use]
     pub fn add(self, other: Self) -> Self {
         Self::from_f32(self.to_f32() + other.to_f32())
     }

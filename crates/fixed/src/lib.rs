@@ -30,9 +30,6 @@
 //! assert!((Q1_19::acc_to_f64(acc) - 0.125).abs() < 1e-5);
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod half;
 mod precision;
 mod quant;

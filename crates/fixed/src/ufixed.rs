@@ -161,6 +161,7 @@ impl<const BITS: u32> UFixed<BITS> {
     }
 
     /// Saturating addition in the value domain.
+    #[must_use]
     pub fn saturating_add(self, other: Self) -> Self {
         let sum = self.raw as u64 + other.raw as u64;
         Self {

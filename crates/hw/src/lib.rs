@@ -27,9 +27,6 @@
 //! assert!(roofline.attainable_nnz_per_sec() > 5e10); // paper: 57 GNNZ/s
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod axi;
 mod hbm;
 mod pipeline;

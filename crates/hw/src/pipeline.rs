@@ -99,6 +99,7 @@ impl PipelineModel {
 
     /// Overall initiation interval: the slowest stage's II.
     pub fn initiation_interval(&self) -> u32 {
+        // invariant: stages is a fixed four-entry array
         self.stages.iter().map(|s| s.ii).max().expect("4 stages")
     }
 
@@ -126,6 +127,7 @@ impl PipelineModel {
             .stages
             .iter()
             .max_by_key(|s| s.latency)
+            // invariant: stages is a fixed four-entry array
             .expect("4 stages")
     }
 }

@@ -44,6 +44,7 @@ impl ResourceUsage {
     /// An inherent method rather than `std::ops::Add`: resource vectors
     /// are not a numeric type and gain nothing from operator syntax.
     #[allow(clippy::should_implement_trait)]
+    #[must_use]
     pub fn add(self, other: ResourceUsage) -> ResourceUsage {
         ResourceUsage {
             lut: self.lut + other.lut,
@@ -55,6 +56,7 @@ impl ResourceUsage {
     }
 
     /// Element-wise scaling.
+    #[must_use]
     pub fn scale(self, factor: u64) -> ResourceUsage {
         ResourceUsage {
             lut: self.lut * factor,

@@ -47,6 +47,7 @@ impl Roofline {
     }
 
     /// Adds a compute ceiling (`cores × B × clock_hz` non-zeros/second).
+    #[must_use]
     pub fn with_compute_ceiling(mut self, ceiling: f64) -> Self {
         assert!(ceiling > 0.0);
         self.compute_ceiling = Some(ceiling);

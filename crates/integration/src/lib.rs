@@ -8,9 +8,6 @@
 //! CPU baseline. CI and future backends can call it as a cheap
 //! is-the-world-sane probe before running the full evaluation.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use tkspmv::Accelerator;
 use tkspmv_baselines::cpu::exact_topk;
 use tkspmv_fixed::Precision;

@@ -1,218 +1,28 @@
 //! Guards against manifest drift: the crate dependency DAG must stay
-//! acyclic, and every shared dependency must be declared once in the
-//! root `[workspace.dependencies]` table and referenced with
-//! `workspace = true` by members, so versions cannot fork.
+//! acyclic and layered, every shared dependency must defer to
+//! `[workspace.dependencies]`, and the member list must match the disk.
 //!
-//! Cargo would reject a dependency *cycle* on its own, but only when
-//! someone builds; these tests also pin the intended layering (e.g.
-//! `tkspmv_sparse` must never grow a dependency on `tkspmv`) which
-//! cargo cannot know about.
+//! The checks themselves live in `tkspmv_check` (`--manifests` mode of
+//! `cargo run -p tkspmv_check`), where CI runs them alongside the other
+//! invariant lints; this test is the `cargo test` entry point to the
+//! same code, so a plain test run still catches drift.
 
-use std::collections::{BTreeMap, BTreeSet};
-use std::path::{Path, PathBuf};
-
-/// Crates whose versions are managed centrally; members must reference
-/// them via `workspace = true`.
-const WORKSPACE_MANAGED: &[&str] = &[
-    "tkspmv",
-    "tkspmv_fixed",
-    "tkspmv_sparse",
-    "tkspmv_hw",
-    "tkspmv_obs",
-    "tkspmv_baselines",
-    "tkspmv_serve",
-    "tkspmv_fabric",
-    "tkspmv_eval",
-    "tkspmv_bench",
-    "proptest",
-    "criterion",
-];
-
-fn repo_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()
-        .expect("repo root")
-}
-
-/// Minimal TOML scan: returns `(package_name, deps)` where `deps` maps
-/// a dependency name to whether it is declared with `workspace = true`.
-/// Covers only the manifest shapes this workspace uses (no inline
-/// tables spanning lines, no `target.*` dependency sections).
-fn scan_manifest(path: &Path) -> (String, BTreeMap<String, bool>) {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
-    let mut package_name = String::new();
-    let mut section = String::new();
-    let mut deps = BTreeMap::new();
-    for raw in text.lines() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if line.starts_with('[') {
-            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
-            continue;
-        }
-        let Some((key, value)) = line.split_once('=') else {
-            continue;
-        };
-        let (key, value) = (key.trim(), value.trim());
-        if section == "package" && key == "name" {
-            package_name = value.trim_matches('"').to_string();
-        }
-        if matches!(section.as_str(), "dependencies" | "dev-dependencies") {
-            // `name = { workspace = true }` or `name.workspace = true`.
-            let name = key.split('.').next().unwrap().to_string();
-            let via_workspace =
-                key.ends_with(".workspace") || value.replace(' ', "").contains("workspace=true");
-            deps.insert(name, via_workspace);
-        }
-    }
-    assert!(!package_name.is_empty(), "no [package] name in {path:?}");
-    (package_name, deps)
-}
-
-fn member_manifests() -> Vec<PathBuf> {
-    let root = repo_root();
-    let mut found = Vec::new();
-    for dir in ["crates", "vendor"] {
-        for entry in std::fs::read_dir(root.join(dir)).expect("workspace dir") {
-            let manifest = entry.expect("dir entry").path().join("Cargo.toml");
-            if manifest.is_file() {
-                found.push(manifest);
-            }
-        }
-    }
-    assert_eq!(
-        found.len(),
-        13,
-        "expected 13 member manifests, got {found:?}"
-    );
-    found
-}
+use tkspmv_check::diag::Report;
 
 #[test]
-fn dependency_dag_is_acyclic_and_layered() {
-    let mut graph: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for manifest in member_manifests() {
-        let (name, deps) = scan_manifest(&manifest);
-        let internal: BTreeSet<String> = deps
-            .keys()
-            .filter(|d| WORKSPACE_MANAGED.contains(&d.as_str()))
-            .cloned()
-            .collect();
-        graph.insert(name, internal);
-    }
-
-    // Kahn's algorithm: a topological order exists iff the DAG is acyclic.
-    let mut remaining = graph.clone();
-    let mut order = Vec::new();
-    while !remaining.is_empty() {
-        let ready: Vec<String> = remaining
+fn manifests_have_no_drift() {
+    let root = tkspmv_check::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the integration crate");
+    let mut report = Report::default();
+    tkspmv_check::manifests::check(&root, &mut report);
+    assert!(
+        report.diagnostics.is_empty(),
+        "manifest drift:\n{}",
+        report
+            .diagnostics
             .iter()
-            .filter(|(_, deps)| deps.iter().all(|d| !remaining.contains_key(d)))
-            .map(|(n, _)| n.clone())
-            .collect();
-        assert!(
-            !ready.is_empty(),
-            "dependency cycle among crates: {:?}",
-            remaining.keys().collect::<Vec<_>>()
-        );
-        for name in ready {
-            remaining.remove(&name);
-            order.push(name);
-        }
-    }
-
-    // The intended layering: lower layers must not depend on higher ones.
-    let position: BTreeMap<&str, usize> = order
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.as_str(), i))
-        .collect();
-    for (lower, upper) in [
-        ("tkspmv_fixed", "tkspmv_sparse"),
-        ("tkspmv_fixed", "tkspmv_hw"),
-        ("tkspmv_sparse", "tkspmv"),
-        ("tkspmv_hw", "tkspmv"),
-        ("tkspmv", "tkspmv_baselines"),
-        ("tkspmv", "tkspmv_serve"),
-        ("tkspmv_baselines", "tkspmv_eval"),
-        ("tkspmv_eval", "tkspmv_bench"),
-        ("tkspmv_serve", "tkspmv_bench"),
-        ("tkspmv_serve", "tkspmv_fabric"),
-        ("tkspmv_fabric", "tkspmv_bench"),
-        ("tkspmv_obs", "tkspmv_serve"),
-        ("tkspmv_obs", "tkspmv_fabric"),
-        ("tkspmv_obs", "tkspmv"),
-    ] {
-        assert!(
-            position[lower] < position[upper],
-            "layering violated: {lower} should sort before {upper} in {order:?}"
-        );
-        assert!(
-            !graph[lower].contains(upper),
-            "{lower} must not depend on {upper}"
-        );
-    }
-}
-
-#[test]
-fn shared_dependencies_all_come_from_workspace_table() {
-    let root_manifest = repo_root().join("Cargo.toml");
-    let text = std::fs::read_to_string(&root_manifest).expect("root Cargo.toml");
-
-    // Every workspace-managed name must be pinned exactly once in the
-    // root [workspace.dependencies] table.
-    let mut in_table = BTreeSet::new();
-    let mut section = String::new();
-    for raw in text.lines() {
-        let line = raw.trim();
-        if line.starts_with('[') {
-            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
-            continue;
-        }
-        if section == "workspace.dependencies" {
-            if let Some((key, _)) = line.split_once('=') {
-                in_table.insert(key.trim().split('.').next().unwrap().to_string());
-            }
-        }
-    }
-    for name in WORKSPACE_MANAGED {
-        assert!(
-            in_table.contains(*name),
-            "{name} missing from [workspace.dependencies]"
-        );
-    }
-
-    // And every member reference to one of those names must defer to it.
-    for manifest in member_manifests() {
-        let (member, deps) = scan_manifest(&manifest);
-        for (dep, via_workspace) in deps {
-            if WORKSPACE_MANAGED.contains(&dep.as_str()) {
-                assert!(
-                    via_workspace,
-                    "{member} pins `{dep}` directly; use `{dep} = {{ workspace = true }}`"
-                );
-            }
-        }
-    }
-}
-
-#[test]
-fn workspace_members_match_directories_on_disk() {
-    let text = std::fs::read_to_string(repo_root().join("Cargo.toml")).expect("root Cargo.toml");
-    for manifest in member_manifests() {
-        let dir = manifest.parent().unwrap();
-        let rel = dir
-            .strip_prefix(repo_root())
-            .unwrap()
-            .to_str()
-            .unwrap()
-            .to_string();
-        assert!(
-            text.contains(&format!("\"{rel}\"")),
-            "{rel} exists on disk but is not listed in [workspace] members"
-        );
-    }
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }

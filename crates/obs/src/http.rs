@@ -55,6 +55,7 @@ impl MetricsServer {
         let handle = std::thread::Builder::new()
             .name("obs-metrics-http".into())
             .spawn(move || accept_loop(listener, &stop_flag, &render))
+            // invariant: spawn fails only on OS thread exhaustion; the server is useless without its acceptor
             .expect("spawn metrics server thread");
         Ok(MetricsServer {
             addr,
@@ -74,7 +75,10 @@ impl MetricsServer {
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // ordering: standalone stop flag — nothing is published under
+        // it, and the join below synchronizes with thread exit; SeqCst
+        // bought nothing here.
+        self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -91,7 +95,9 @@ fn accept_loop<F>(listener: TcpListener, stop: &AtomicBool, render: &F)
 where
     F: Fn(&str) -> Option<String>,
 {
-    while !stop.load(Ordering::SeqCst) {
+    // ordering: the flag is the only shared state; the accept loop
+    // re-polls within ACCEPT_POLL, so propagation delay is harmless.
+    while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Answer inline: scrape requests are tiny and rare, and

@@ -25,9 +25,6 @@
 //! to be allocation-free in steady state (proven by
 //! `tests/zero_alloc.rs`).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod http;
 mod metrics;
 mod trace;

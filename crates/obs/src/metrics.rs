@@ -36,12 +36,15 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: monotonic scrape counter; no data is published
+        // under it and readers tolerate arbitrarily stale values.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: point-in-time scrape read; staleness is fine.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -61,18 +64,21 @@ impl Gauge {
     /// Sets the gauge to `v`.
     #[inline]
     pub fn set(&self, v: i64) {
+        // ordering: last-writer-wins scrape gauge; nothing hangs off it.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// Adds `delta` (may be negative).
     #[inline]
     pub fn add(&self, delta: i64) {
+        // ordering: independent scrape gauge delta; staleness is fine.
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
+        // ordering: point-in-time scrape read; staleness is fine.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -128,6 +134,7 @@ struct Stripe {
 }
 
 impl Stripe {
+    // alloc-ok(fn): one-time bucket array at construction.
     fn new() -> Self {
         Self {
             buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
@@ -151,6 +158,8 @@ fn my_stripe() -> usize {
         if v != usize::MAX {
             v
         } else {
+            // ordering: round-robin stripe ticket; uniqueness comes
+            // from fetch_add's atomicity, no ordering needed.
             let v = STRIPE_SEQ.fetch_add(1, Ordering::Relaxed) % STRIPES;
             s.set(v);
             v
@@ -176,6 +185,7 @@ impl Default for Histogram {
 
 impl Histogram {
     /// A fresh, empty histogram (allocates its buckets once, up front).
+    // alloc-ok(fn): one-time stripe allocation at construction.
     pub fn new() -> Self {
         Self {
             stripes: (0..STRIPES).map(|_| Stripe::new()).collect(),
@@ -192,22 +202,31 @@ impl Histogram {
     #[inline]
     pub fn record_us(&self, us: u64) {
         let stripe = &self.stripes[my_stripe()];
+        // ordering: independent monotonic stripe counters; snapshot
+        // tolerates tearing between them (see HistogramSnapshot docs).
         stripe.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        // ordering: same tearing-tolerant stripe counters as above.
         stripe.count.fetch_add(1, Ordering::Relaxed);
+        // ordering: same tearing-tolerant stripe counters as above.
         stripe.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Point-in-time view: stripe-summed bucket counts. O(buckets),
     /// regardless of how many samples were recorded.
+    // alloc-ok(fn): scrape-time summary, off the record path.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = vec![0u64; NUM_BUCKETS];
         let mut count = 0u64;
         let mut sum_us = 0u64;
         for stripe in &self.stripes {
             for (acc, b) in buckets.iter_mut().zip(&stripe.buckets) {
+                // ordering: scrape-time read; a snapshot may be off by
+                // in-flight samples, documented on HistogramSnapshot.
                 *acc += b.load(Ordering::Relaxed);
             }
+            // ordering: scrape-time read, tearing-tolerant as above.
             count += stripe.count.load(Ordering::Relaxed);
+            // ordering: scrape-time read, tearing-tolerant as above.
             sum_us = sum_us.saturating_add(stripe.sum_us.load(Ordering::Relaxed));
         }
         HistogramSnapshot {
@@ -319,6 +338,8 @@ impl Registry {
         Self::default()
     }
 
+    // alloc-ok(fn): registration path, first call per (name, labels)
+    // only; hot callers cache the returned Arc handle.
     fn get_or_insert(
         &self,
         name: &str,
@@ -363,21 +384,25 @@ impl Registry {
     }
 
     /// Get-or-create a counter child with the given label pairs.
+    // alloc-ok(fn): registration path; hot callers cache the Arc.
     pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         match self.get_or_insert(name, help, MetricKind::Counter, labels, || {
             MetricHandle::Counter(Arc::new(Counter::new()))
         }) {
             MetricHandle::Counter(c) => c,
+            // invariant: get_or_insert returns the kind it was given
             _ => unreachable!("kind checked by get_or_insert"),
         }
     }
 
     /// Get-or-create an unlabeled gauge.
+    // alloc-ok(fn): registration path; hot callers cache the Arc.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
         match self.get_or_insert(name, help, MetricKind::Gauge, &[], || {
             MetricHandle::Gauge(Arc::new(Gauge::new()))
         }) {
             MetricHandle::Gauge(g) => g,
+            // invariant: get_or_insert returns the kind it was given
             _ => unreachable!("kind checked by get_or_insert"),
         }
     }
@@ -388,6 +413,7 @@ impl Registry {
     }
 
     /// Get-or-create a histogram child with the given label pairs.
+    // alloc-ok(fn): registration path; hot callers cache the Arc.
     pub fn histogram_with(
         &self,
         name: &str,
@@ -398,6 +424,7 @@ impl Registry {
             MetricHandle::Histogram(Arc::new(Histogram::new()))
         }) {
             MetricHandle::Histogram(h) => h,
+            // invariant: get_or_insert returns the kind it was given
             _ => unreachable!("kind checked by get_or_insert"),
         }
     }
@@ -406,6 +433,7 @@ impl Registry {
     /// exposition format (`# HELP` / `# TYPE` comments plus one sample
     /// line per child; histograms as cumulative `_bucket`/`_sum`/
     /// `_count` series over their non-empty buckets).
+    // alloc-ok(fn): scrape-time rendering, off the record path.
     pub fn render(&self) -> String {
         let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
         let mut out = String::new();
@@ -461,6 +489,7 @@ impl Registry {
     }
 }
 
+// alloc-ok(fn): registration/scrape-time label rendering.
 fn render_labels(labels: &[(&str, &str)]) -> String {
     let mut out = String::new();
     for (i, (k, v)) in labels.iter().enumerate() {
@@ -476,6 +505,7 @@ fn render_labels(labels: &[(&str, &str)]) -> String {
     out
 }
 
+// alloc-ok(fn): scrape-time label rendering.
 fn brace(labels: &str) -> String {
     if labels.is_empty() {
         String::new()
@@ -484,6 +514,7 @@ fn brace(labels: &str) -> String {
     }
 }
 
+// alloc-ok(fn): scrape-time label rendering.
 fn brace_with(labels: &str, extra: &str) -> String {
     if labels.is_empty() {
         format!("{{{extra}}}")
@@ -501,6 +532,8 @@ fn brace_with(labels: &str, extra: &str) -> String {
 /// the shape `name{label="value",...} <float>`. Used by the scrape
 /// tests, CI, and `examples/cluster.rs` to prove the endpoints serve
 /// well-formed pages.
+// alloc-ok(fn): validation helper for tests and examples, never on the
+// record path.
 pub fn validate_exposition(text: &str) -> Result<Vec<String>, String> {
     let mut names = Vec::new();
     for (lineno, line) in text.lines().enumerate() {

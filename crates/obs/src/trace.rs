@@ -103,6 +103,8 @@ impl TraceId {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0);
+        // ordering: uniqueness ticket; only fetch_add's atomicity
+        // matters, no cross-thread data is published under it.
         let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
         // SplitMix64 finalisers decorrelate the two words.
         let mut bytes = [0u8; 16];
@@ -118,6 +120,7 @@ impl TraceId {
     }
 
     /// Lowercase hex rendering (32 chars).
+    // alloc-ok(fn): export/log formatting, never on the record path.
     pub fn to_hex(&self) -> String {
         let mut s = String::with_capacity(32);
         for b in self.0 {
@@ -145,7 +148,6 @@ pub struct StageSpan {
     /// Stage duration in microseconds.
     pub dur_us: u32,
 }
-
 
 /// Spans a single [`SpanRecord`] can hold — enough for every stage plus
 /// headroom, fixed so ring slots never allocate.
@@ -225,6 +227,8 @@ impl std::fmt::Debug for SpanRing {
 
 impl SpanRing {
     /// A ring with `capacity` preallocated slots (min 1).
+    // alloc-ok(fn): one-time slot preallocation at construction —
+    // record() then overwrites slots in place, allocation-free.
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self {
@@ -256,6 +260,8 @@ impl SpanRing {
     }
 
     /// The `n` slowest recorded queries, descending by total latency.
+    // alloc-ok(fn): scrape/debug-time copy out of the ring; the copy
+    // also keeps the sort outside the ring mutex.
     pub fn slowest(&self, n: usize) -> Vec<SpanRecord> {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut filled: Vec<SpanRecord> = inner.slots[..inner.filled].to_vec();
@@ -286,6 +292,8 @@ pub struct SpanNode {
 
 impl SpanNode {
     /// A leafless node covering `[start_us, start_us + dur_us)`.
+    // alloc-ok(fn): trace-tree assembly, only for traced (sampled)
+    // queries; the empty vecs allocate on first push.
     pub fn new(name: impl Into<String>, start_us: u32, dur_us: u32) -> Self {
         Self {
             name: name.into(),
@@ -371,6 +379,7 @@ impl QueryTrace {
     }
 
     /// Renders the trace as a single JSON object (no trailing newline).
+    // alloc-ok(fn): export-time rendering, never on the record path.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         let _ = write!(
@@ -385,6 +394,7 @@ impl QueryTrace {
     }
 }
 
+// alloc-ok(fn): export-time rendering, never on the record path.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');

@@ -113,10 +113,6 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::return_self_not_must_use)]
-#![forbid(unsafe_code)]
-
 mod batch;
 mod error;
 mod metrics;

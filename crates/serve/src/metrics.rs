@@ -421,6 +421,8 @@ impl MetricsShared {
 
     pub(crate) fn record_swap(&self, new_epoch: u64) {
         self.swaps.inc();
+        // ordering: reporting-only copy of the epoch; the authoritative
+        // value is published under the epoch mutex in service.rs.
         self.epoch_raw.store(new_epoch, Ordering::Relaxed);
         self.epoch.set(i64::try_from(new_epoch).unwrap_or(i64::MAX));
     }
@@ -556,6 +558,7 @@ impl MetricsShared {
                 served as f64 / uptime.as_secs_f64()
             },
             uptime,
+            // ordering: reporting-only epoch copy; see record_swap.
             epoch: self.epoch_raw.load(Ordering::Relaxed),
             swaps: self.swaps.get(),
             batcher_wakeups,

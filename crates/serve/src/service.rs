@@ -211,6 +211,9 @@ impl Job {
                 // across the batch so per-request histograms are not
                 // inflated B-fold; the span layout re-clamps anyway.
                 let per_req = |i: usize| {
+                    // ordering: diagnostic stage totals read at
+                    // finalize; the partials-mutex handoff already
+                    // ordered the worker's writes before this read.
                     let ns = self.hook_ns[i].load(Ordering::Relaxed) / batch_size as u64;
                     Duration::from_nanos(ns)
                 };
@@ -392,6 +395,7 @@ fn extract_compatible(queue: &mut VecDeque<Pending>, members: &mut Vec<Pending>,
     let epoch = Arc::clone(&members[0].epoch);
     let now = Instant::now();
     for _ in 0..queue.len() {
+        // invariant: the loop bound caps iterations at the queue length
         let mut pending = queue.pop_front().expect("len checked by the loop bound");
         if members.len() < max
             && pending.k == k
@@ -423,9 +427,11 @@ fn batcher_loop(inner: &Arc<Inner>) {
                     .submit_cv
                     .wait(q)
                     .unwrap_or_else(PoisonError::into_inner);
+                // ordering: diagnostic wakeup counter, reporting only.
                 inner.batcher_wakeups.fetch_add(1, Ordering::Relaxed);
             }
         };
+        // ordering: diagnostic wakeup counter, reporting only.
         inner.batcher_wakeups.fetch_add(1, Ordering::Relaxed);
         seed.extracted = Instant::now();
         let mut members = vec![seed];
@@ -464,6 +470,8 @@ fn batcher_loop(inner: &Arc<Inner>) {
                         .wait_timeout(q, deadline - now)
                         .unwrap_or_else(PoisonError::into_inner);
                     q = guard;
+                    // ordering: diagnostic wakeup counter, reporting
+                    // only.
                     inner.batcher_wakeups.fetch_add(1, Ordering::Relaxed);
                     if timeout.timed_out() {
                         extract_compatible(&mut q.queue, &mut members, max);
@@ -517,9 +525,13 @@ fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
                 .collect::<Vec<_>>())
         }));
         let engine_us = u64::try_from(engine_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        // ordering: diagnostic timing accumulators; finalize's read is
+        // ordered after all shard writes by the partials-mutex handoff
+        // and the AcqRel `remaining` countdown below.
         job.engine_us.fetch_add(engine_us, Ordering::Relaxed);
         // Wall-clock engine time for the request is the slowest shard
         // (they run concurrently), not the sum across shards.
+        // ordering: diagnostic accumulator, same handoff as above.
         job.engine_wall_us.fetch_max(engine_us, Ordering::Relaxed);
         // Attribute the engine-internal stage-hook time this shard's
         // call added. The hooks are process-global counters (the engine
@@ -528,6 +540,7 @@ fn worker_loop(inner: &Arc<Inner>, shard_index: usize) {
         // and finalize clamps sub-stages into the engine wall interval.
         let hooks_after = tkspmv::obs_hooks::totals_ns();
         for (i, slot) in job.hook_ns.iter().enumerate() {
+            // ordering: diagnostic accumulators, same handoff as above.
             slot.fetch_add(
                 hooks_after[i].saturating_sub(hooks_before[i]),
                 Ordering::Relaxed,
@@ -757,6 +770,7 @@ impl ServiceBuilder {
             std::thread::Builder::new()
                 .name("tkspmv-serve-batcher".to_string())
                 .spawn(move || batcher_loop(&inner))
+                // invariant: spawn fails only on OS thread exhaustion; the service cannot run without its batcher
                 .expect("spawn batcher thread")
         };
         let mut workers = Vec::with_capacity(inner.shards.len() * self.workers_per_shard);
@@ -767,6 +781,7 @@ impl ServiceBuilder {
                     std::thread::Builder::new()
                         .name(format!("tkspmv-serve-s{shard_index}w{worker}"))
                         .spawn(move || worker_loop(&inner, shard_index))
+                        // invariant: spawn fails only on OS thread exhaustion; the service cannot run without its workers
                         .expect("spawn shard worker thread"),
                 );
             }
@@ -1072,6 +1087,7 @@ impl TopKService {
 
     /// Snapshots the service's metrics.
     pub fn metrics(&self) -> ServiceMetrics {
+        // ordering: point-in-time diagnostic read of the wakeup count.
         let wakeups = self.inner.batcher_wakeups.load(Ordering::Relaxed);
         self.inner.metrics.snapshot(wakeups)
     }
@@ -1081,6 +1097,7 @@ impl TopKService {
     /// plus full latency histograms), ready to answer a `/metrics`
     /// scrape.
     pub fn render_metrics(&self) -> String {
+        // ordering: point-in-time diagnostic read of the wakeup count.
         let wakeups = self.inner.batcher_wakeups.load(Ordering::Relaxed);
         self.inner.metrics.render(wakeups)
     }

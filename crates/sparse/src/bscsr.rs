@@ -419,6 +419,7 @@ impl BsCsr {
             .filter(|&(r, c, v)| !(per_row_count[r as usize] == 1 && c == 0 && v == 0.0))
             .collect();
         Csr::from_triplets(self.num_rows, self.num_cols, &filtered)
+            // invariant: filtered entries come from a packet stream encoded from a valid Csr
             .expect("decoded entries are valid by construction")
     }
 }

@@ -209,6 +209,7 @@ impl CooPackets {
             .map(|(r, c, raw)| (r, c, S::decode(raw).value_to_f64() as f32))
             .collect();
         Csr::from_triplets(self.num_rows, self.num_cols, &triplets)
+            // invariant: decoded entries come from a packet encoded from a valid Csr
             .expect("decoded entries valid by construction")
     }
 }

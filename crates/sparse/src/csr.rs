@@ -81,6 +81,7 @@ impl Csr {
                 ),
             });
         }
+        // invariant: length checked against num_rows + 1 above, so last() exists
         if row_ptr.first() != Some(&0) || *row_ptr.last().unwrap() != col_idx.len() as u64 {
             return Err(SparseError::MalformedRowPtr {
                 detail: "row_ptr must start at 0 and end at nnz".to_string(),
@@ -343,6 +344,7 @@ impl Csr {
             .flat_map(|r| self.row(r).map(move |(c, v)| (r as u32, c, v)))
             .collect();
         Coo::from_triplets(self.num_rows, self.num_cols, &triplets)
+            // invariant: CSR construction enforces the bounds COO validates
             .expect("CSR invariants guarantee valid COO")
     }
 

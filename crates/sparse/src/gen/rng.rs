@@ -106,6 +106,7 @@ impl Rng64 {
 
     /// Derives an independent child generator (for per-partition or
     /// per-thread streams).
+    #[must_use]
     pub fn fork(&mut self) -> Rng64 {
         Rng64::new(self.next_u64())
     }

@@ -108,6 +108,7 @@ impl SyntheticConfig {
             row_ptr.push(col_idx.len() as u64);
         }
         Csr::from_parts(self.num_rows, self.num_cols, row_ptr, col_idx, values)
+            // invariant: the generator emits monotone row_ptr and in-range columns by construction
             .expect("generator produces valid CSR")
     }
 

@@ -42,9 +42,6 @@
 //! # Ok::<(), tkspmv_sparse::SparseError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 mod bitio;
 mod bscsr;
 mod coo;

@@ -85,6 +85,8 @@ impl PruneIndex {
     ///
     /// [`SparseError::DimensionTooLarge`] if the matrix has more than
     /// 65536 columns or more than `u32::MAX` non-zeros.
+    // alloc-ok(fn): one-time index construction (ingest/compaction),
+    // never on the query path.
     pub fn build(csr: &Csr, bits: PruneBits) -> Result<Self, SparseError> {
         if csr.num_cols() > u16::MAX as usize + 1 {
             return Err(SparseError::DimensionTooLarge {
@@ -146,6 +148,8 @@ impl PruneIndex {
     /// [`SparseError::IndexOutOfBounds`] if the arrays are inconsistent
     /// with the declared shape, [`SparseError::DimensionTooLarge`] for
     /// shapes the field widths cannot address.
+    // alloc-ok(fn): snapshot-load validation with owned-array handoff;
+    // error strings allocate only on rejected inputs.
     pub fn from_parts(
         bits: PruneBits,
         num_rows: usize,
@@ -168,6 +172,7 @@ impl PruneIndex {
                 ),
             });
         }
+        // invariant: length checked against num_rows + 1 above, so last() exists
         if row_ptr.first() != Some(&0) || *row_ptr.last().unwrap() != col_idx.len() as u32 {
             return Err(SparseError::MalformedRowPtr {
                 detail: "prune row_ptr must start at 0 and end at nnz".to_string(),
@@ -283,6 +288,8 @@ impl PruneIndex {
 
     /// Quantises a query vector to the fixed `Q1.7` raw grid of the
     /// prune pass (round-to-nearest, saturating, NaN/negative to zero).
+    // alloc-ok(fn): per-query setup producing the reusable quantised
+    // vector; the per-row scoring loop is `score_rows`.
     pub fn quantize_query(&self, x: &[f32]) -> Vec<u16> {
         x.iter()
             .map(|&v| PruneQuery::from_f64(v as f64).raw() as u16)
@@ -313,12 +320,26 @@ impl PruneIndex {
     pub fn score_rows(&self, first_row: usize, q: &[u16], out: &mut [u64]) {
         assert!(first_row + out.len() <= self.num_rows, "row range overruns");
         assert!(q.len() >= self.num_cols, "query shorter than columns");
-        // Saturate once so the 32-bit overflow argument holds for any
-        // caller-supplied query, not just `quantize_query`'s output.
-        let q: Vec<u32> = q[..self.num_cols]
-            .iter()
-            .map(|&v| (v as u32).min(PruneQuery::RAW_MAX))
-            .collect();
+        // The 32-bit overflow argument needs query values capped at
+        // RAW_MAX for any caller, not just `quantize_query`'s output.
+        // An O(cols) pre-scan picks the lookup: in-grid queries (the
+        // overwhelmingly common case) index the slice directly, an
+        // out-of-grid query pays a per-access saturation. Either way
+        // the call never allocates — this is the warm prune pass, held
+        // to zero allocations by tests/zero_alloc.rs and the alloc lint.
+        let q = &q[..self.num_cols];
+        if q.iter().all(|&v| u32::from(v) <= PruneQuery::RAW_MAX) {
+            self.score_rows_stream(first_row, out, |c| u32::from(q[c as usize]));
+        } else {
+            self.score_rows_stream(first_row, out, |c| {
+                u32::from(q[c as usize]).min(PruneQuery::RAW_MAX)
+            });
+        }
+    }
+
+    /// The streaming scoring loop behind [`Self::score_rows`],
+    /// monomorphised over the query-value lookup.
+    fn score_rows_stream<F: Fn(u16) -> u32>(&self, first_row: usize, out: &mut [u64], qv: F) {
         let lo = self.row_ptr[first_row] as usize;
         let hi = self.row_ptr[first_row + out.len()] as usize;
         let mut buf = [0u32; SCORE_BLOCK + 1];
@@ -337,7 +358,7 @@ impl PruneIndex {
                         .zip(&self.packed[start..end])
                         .zip(&self.col_idx[start..end])
                     {
-                        acc = acc.wrapping_add(v as u32 * q[c as usize]);
+                        acc = acc.wrapping_add(v as u32 * qv(c));
                         *p = acc;
                     }
                 }
@@ -349,7 +370,7 @@ impl PruneIndex {
                     {
                         let e = start + i;
                         let nibble = (self.packed[e / 2] >> ((e % 2) as u32 * 4)) & 0xF;
-                        acc = acc.wrapping_add(nibble as u32 * q[c as usize]);
+                        acc = acc.wrapping_add(nibble as u32 * qv(c));
                         *p = acc;
                     }
                 }

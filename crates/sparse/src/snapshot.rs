@@ -626,6 +626,7 @@ fn read_partitions<R: Read>(
             for packet in bytes.chunks_exact(crate::PACKET_BYTES) {
                 let mut words = [0u64; 8];
                 for (word, raw) in words.iter_mut().zip(packet.chunks_exact(8)) {
+                    // invariant: chunks_exact yields exactly 8-byte slices
                     *word = u64::from_le_bytes(raw.try_into().expect("8-byte chunk"));
                 }
                 packets.push(Packet512::from_words(words));
@@ -926,6 +927,7 @@ fn read_u64_array<R: Read>(
         out.extend(
             bytes
                 .chunks_exact(8)
+                // invariant: chunks_exact yields exactly 8-byte slices
                 .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
         );
         remaining -= take;
@@ -948,6 +950,7 @@ fn read_u32_array<R: Read>(
         out.extend(
             bytes
                 .chunks_exact(4)
+                // invariant: chunks_exact yields exactly 4-byte slices
                 .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte chunk"))),
         );
         remaining -= take;
@@ -970,6 +973,7 @@ fn read_u16_array<R: Read>(
         out.extend(
             bytes
                 .chunks_exact(2)
+                // invariant: chunks_exact yields exactly 2-byte slices
                 .map(|b| u16::from_le_bytes(b.try_into().expect("2-byte chunk"))),
         );
         remaining -= take;

@@ -9,6 +9,11 @@
 //! runs it explicitly with `cargo test --release --test zero_alloc --
 //! --ignored`.
 
+// The one sanctioned unsafe block in the workspace: implementing
+// `GlobalAlloc` for the counting allocator requires it. Library code
+// stays under `unsafe_code = "forbid"` via the workspace lint table.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -152,6 +157,91 @@ fn obs_recording_path_is_allocation_free() {
         allocs, 0,
         "metrics/span recording allocates on the completion path ({allocs} calls per 100 records)"
     );
+}
+
+/// The prune pass's warm scoring loop must be allocation-free: scoring
+/// 10x the rows through [`tkspmv_sparse::PruneIndex::score_rows`] into a
+/// caller-owned output slice must cost exactly zero allocation calls.
+/// (This caught a real bug: `score_rows` used to build a saturated copy
+/// of the query per call.)
+#[test]
+#[ignore = "global-allocator accounting; run explicitly (CI does) with --ignored"]
+fn prune_scoring_loop_is_allocation_free() {
+    use tkspmv_fixed::PruneBits;
+    use tkspmv_sparse::PruneIndex;
+
+    let small = synthetic(1_500, 3);
+    let large = synthetic(20_000, 4);
+    let small_idx = PruneIndex::build(&small, PruneBits::Eight).unwrap();
+    let large_idx = PruneIndex::build(&large, PruneBits::Eight).unwrap();
+    let q = small_idx.quantize_query(query_vector(1024, 9).as_slice());
+    let mut small_out = vec![0u64; small.num_rows()];
+    let mut large_out = vec![0u64; large.num_rows()];
+
+    // Warm once (nothing to warm — score_rows owns no scratch — but
+    // keep the measurement shape identical to the other tests).
+    small_idx.score_rows(0, &q, &mut small_out);
+
+    let small_allocs = allocations_during(|| small_idx.score_rows(0, &q, &mut small_out));
+    let large_allocs = allocations_during(|| large_idx.score_rows(0, &q, &mut large_out));
+    assert_eq!(
+        (small_allocs, large_allocs),
+        (0, 0),
+        "prune scoring allocates ({small_allocs} / {large_allocs} calls)"
+    );
+}
+
+/// A warm connection's frame encode path must reuse its buffer:
+/// encoding a response-sized frame into an already-sized `Vec` via
+/// [`tkspmv_fabric::wire::encode_frame_into`] costs zero allocations.
+#[test]
+#[ignore = "global-allocator accounting; run explicitly (CI does) with --ignored"]
+fn wire_frame_encode_reuse_is_allocation_free() {
+    use tkspmv_fabric::wire::{encode_frame_into, FrameKind};
+    use tkspmv_fabric::WIRE_VERSION;
+
+    let body = vec![0xa5u8; 4096];
+    let mut buf = Vec::new();
+    // Warm: the first encode sizes the buffer.
+    encode_frame_into(&mut buf, WIRE_VERSION, FrameKind::TopK, &body);
+
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            encode_frame_into(&mut buf, WIRE_VERSION, FrameKind::TopK, &body);
+        }
+        buf.len()
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm frame encode allocates ({allocs} calls per 100 frames)"
+    );
+}
+
+/// The modules these allocation proofs exercise must be declared hot in
+/// `crates/check/hot_paths.txt`, so the static lint
+/// (`cargo run -p tkspmv_check -- --alloc`) holds the same line on
+/// every path the counting allocator can only spot-check.
+#[test]
+fn exercised_modules_are_declared_hot() {
+    let listing = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../crates/check/hot_paths.txt"
+    ))
+    .expect("hot-path listing exists");
+    for module in [
+        "crates/core/src/engine/core_model.rs",
+        "crates/core/src/topk.rs",
+        "crates/sparse/src/packet.rs",
+        "crates/sparse/src/prune.rs",
+        "crates/obs/src/metrics.rs",
+        "crates/obs/src/trace.rs",
+    ] {
+        assert!(
+            listing.lines().any(|l| l.trim() == module),
+            "{module} is exercised by tests/zero_alloc.rs but not declared \
+             hot in crates/check/hot_paths.txt"
+        );
+    }
 }
 
 #[test]
